@@ -1,0 +1,67 @@
+"""Extension: adversarial bit-permutation workloads.
+
+Bit-complement forces every packet across the bisection and
+bit-reverse/shuffle concentrate flows — the standard adversarial suite
+beyond the paper's workloads.  Checks that the architectural ordering
+(RoCo/PS below generic) survives traffic the designs were not tuned
+for, and that bit-complement is the hardest pattern for everyone.
+"""
+
+from conftest import once
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import run_simulation
+from repro.harness import report
+
+PATTERNS = ("uniform", "bit_complement", "bit_reverse", "shuffle")
+ROUTERS = ("generic", "path_sensitive", "roco")
+RATE = 0.12
+
+
+def latency(router: str, traffic: str) -> float:
+    config = SimulationConfig(
+        width=8,
+        height=8,
+        router=router,
+        routing="xy",
+        traffic=traffic,
+        injection_rate=RATE,
+        warmup_packets=120,
+        measure_packets=700,
+        seed=7,
+        max_cycles=40_000,
+    )
+    return run_simulation(config).average_latency
+
+
+def test_extension_permutation_traffic(benchmark):
+    def sweep():
+        return {
+            traffic: {router: latency(router, traffic) for router in ROUTERS}
+            for traffic in PATTERNS
+        }
+
+    data = once(benchmark, sweep)
+    rows = [
+        [traffic] + [f"{data[traffic][r]:.1f}" for r in ROUTERS]
+        for traffic in PATTERNS
+    ]
+    print()
+    print(
+        report.render_table(
+            ["traffic"] + list(ROUTERS),
+            rows,
+            title=f"== Extension: permutation workloads at {RATE} flits/node/cycle ==",
+        )
+    )
+
+    for traffic in PATTERNS:
+        assert data[traffic]["roco"] < data[traffic]["generic"], traffic
+        assert data[traffic]["path_sensitive"] < data[traffic]["generic"], traffic
+
+    # Bit-complement maximises path length, so it must cost the most
+    # latency of the patterns for every router at this (low) rate.
+    for router in ROUTERS:
+        assert data["bit_complement"][router] == max(
+            data[t][router] for t in PATTERNS
+        ), router

@@ -1,0 +1,57 @@
+"""Extension: saturation throughput per architecture.
+
+Bisection search for the offered load where latency triples over the
+unloaded value — the standard operational definition of saturation
+throughput.  Printed next to the bisection bound (4/k = 0.5 for an 8x8
+mesh) so router efficiency is visible at a glance.
+"""
+
+from conftest import once
+
+from repro.analysis.model import bisection_saturation_rate
+from repro.harness import report
+from repro.harness.replication import find_saturation_rate
+
+ROUTERS = ("generic", "path_sensitive", "roco")
+
+
+def test_extension_saturation_throughput(benchmark):
+    def sweep():
+        # A sustained workload (1500 packets) and a 2x-unloaded threshold
+        # give a sharp knee; tiny finite workloads drain before queues
+        # build and would blur the estimate upward.
+        return {
+            router: find_saturation_rate(
+                router,
+                width=8,
+                height=8,
+                measure_packets=1500,
+                tolerance=0.03,
+                threshold_factor=2.0,
+            )
+            for router in ROUTERS
+        }
+
+    data = once(benchmark, sweep)
+    bound = bisection_saturation_rate(8)
+    rows = [
+        [router, f"{rate:.3f}", f"{rate / bound:.0%}"]
+        for router, rate in data.items()
+    ]
+    print()
+    print(
+        report.render_table(
+            ["router", "saturation (flits/node/cyc)", "of bisection bound"],
+            rows,
+            title="== Extension: 8x8 uniform XY saturation throughput ==",
+        )
+    )
+
+    for router, rate in data.items():
+        # Sanity band: real routers land between half the bisection
+        # bound and slightly above it (finite-workload softening).
+        assert 0.5 * bound <= rate <= 1.25 * bound, (router, rate)
+    # The RoCo and Path-Sensitive designs must stay competitive with the
+    # generic router's saturation point (within ~20%).
+    assert data["roco"] >= 0.8 * data["generic"]
+    assert data["path_sensitive"] >= 0.8 * data["generic"]

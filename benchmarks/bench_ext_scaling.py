@@ -1,0 +1,61 @@
+"""Extension: mesh-size scaling of the RoCo advantage.
+
+The paper evaluates one network size (8x8).  This extension sweeps mesh
+sizes at a fixed per-node load and checks that RoCo's latency advantage
+over the generic router holds as the network grows (its mechanisms are
+per-router, so the per-hop saving should compound with diameter).
+"""
+
+from conftest import once
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import run_simulation
+from repro.harness import report
+
+SIZES = (4, 6, 8, 10)
+RATE = 0.15
+
+
+def latency(router: str, k: int) -> float:
+    config = SimulationConfig(
+        width=k,
+        height=k,
+        router=router,
+        routing="xy",
+        traffic="uniform",
+        injection_rate=RATE,
+        warmup_packets=120,
+        measure_packets=700,
+        seed=7,
+        max_cycles=40_000,
+    )
+    return run_simulation(config).average_latency
+
+
+def test_extension_mesh_scaling(benchmark):
+    def sweep():
+        return {
+            router: [(k, latency(router, k)) for k in SIZES]
+            for router in ("generic", "roco")
+        }
+
+    data = once(benchmark, sweep)
+    print()
+    print(
+        report.render_curves(
+            data,
+            x_label="mesh k",
+            title=f"== Extension: k x k scaling at {RATE} flits/node/cycle ==",
+        )
+    )
+
+    for k in SIZES:
+        generic = dict(data["generic"])[k]
+        roco = dict(data["roco"])[k]
+        assert roco < generic, k
+
+    # The absolute saving grows with network diameter (per-hop savings
+    # compound over longer average paths).
+    saving_small = dict(data["generic"])[SIZES[0]] - dict(data["roco"])[SIZES[0]]
+    saving_large = dict(data["generic"])[SIZES[-1]] - dict(data["roco"])[SIZES[-1]]
+    assert saving_large > saving_small

@@ -1,0 +1,41 @@
+"""Reproduces Figure 10 — latency vs injection rate, transpose traffic."""
+
+from conftest import once
+
+from repro.harness import ExperimentScale, figure10, report
+
+#: Transpose saturates much earlier than uniform (its row/column flows
+#: concentrate on the diagonal), so the sweep uses lower rates.
+TRANSPOSE_SCALE = ExperimentScale(
+    name="bench-transpose",
+    width=8,
+    height=8,
+    warmup_packets=150,
+    measure_packets=900,
+    seeds=(7,),
+    rates=(0.05, 0.12, 0.20),
+    max_cycles=40_000,
+)
+
+
+def test_figure10_transpose_latency(benchmark):
+    data = once(benchmark, lambda: figure10(TRANSPOSE_SCALE))
+    print()
+    print(report.render_latency_figure(data, "Figure 10", "transpose"))
+
+    def lat(routing, router, rate):
+        return dict(data[routing][router])[rate]
+
+    # RoCo below generic at every sub-saturation point; transpose
+    # saturates abruptly, so the top rate gets a tolerance band.
+    for routing in ("xy", "xy-yx", "adaptive"):
+        for rate in TRANSPOSE_SCALE.rates[:-1]:
+            assert lat(routing, "roco", rate) < lat(routing, "generic", rate)
+        high = TRANSPOSE_SCALE.rates[-1]
+        assert lat(routing, "roco", high) < 1.55 * lat(routing, "generic", high)
+
+    # Alternate paths help transpose: XY-YX spreads the permutation's
+    # row/column flows and clearly beats deterministic XY at high load.
+    high = TRANSPOSE_SCALE.rates[-1]
+    assert lat("xy-yx", "roco", high) < lat("xy", "roco", high)
+    assert lat("adaptive", "roco", high) < lat("xy", "roco", high)

@@ -1,0 +1,30 @@
+"""Reproduces Figure 11 — completion probability, router-centric faults."""
+
+from conftest import BENCH_FAULTS, once
+
+from repro.harness import fault_figure, report
+
+
+def test_figure11_critical_fault_completion(benchmark):
+    data = once(benchmark, lambda: fault_figure(critical=True, scale=BENCH_FAULTS))
+    print()
+    print(report.render_fault_figure(data, "Figure 11 (router-centric faults)"))
+
+    for routing in ("xy", "xy-yx", "adaptive"):
+        per_router = data[routing]
+        for count in (1, 2, 4):
+            # Graceful degradation: RoCo completes at least as much as
+            # both baselines for every fault count and routing algorithm.
+            assert per_router["roco"][count] >= per_router["generic"][count]
+            assert per_router["roco"][count] >= per_router["path_sensitive"][count]
+
+        # Completion degrades (weakly) as faults accumulate.
+        for router in per_router:
+            assert per_router[router][4] <= per_router[router][1] + 0.02
+
+    # The advantage is largest under deterministic routing (no alternate
+    # paths for the baselines) at the highest fault count.
+    xy = data["xy"]
+    assert xy["roco"][4] > xy["generic"][4]
+    improvement = xy["roco"][4] / max(xy["generic"][4], 1e-9) - 1
+    assert improvement > 0.05

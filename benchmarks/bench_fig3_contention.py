@@ -1,0 +1,42 @@
+"""Reproduces Figure 3 — contention probabilities vs offered load."""
+
+from conftest import BENCH, once
+
+from repro.harness import figure3, report
+
+
+def test_figure3_contention_probabilities(benchmark):
+    data = once(benchmark, lambda: figure3(BENCH))
+    print()
+    for panel, title in (
+        ("row_xy", "(a) row input, XY routing"),
+        ("column_xy", "(b) column input, XY routing"),
+        ("adaptive", "(c) adaptive routing"),
+    ):
+        print(
+            report.render_curves(
+                data[panel],
+                x_label="inj rate",
+                title=f"== Figure 3 {title} ==",
+            )
+        )
+        print()
+
+    high = BENCH.contention_rates[-1]
+
+    def at(panel, router, rate):
+        return dict(data[panel][router])[rate]
+
+    # Shape target: the generic router suffers the highest contention;
+    # RoCo the least (Figure 3's headline).
+    for panel in ("row_xy", "adaptive"):
+        assert at(panel, "generic", high) > at(panel, "roco", high)
+
+    # Contention grows with offered load for every router.
+    low = BENCH.contention_rates[0]
+    for router in ("generic", "path_sensitive", "roco"):
+        assert at("row_xy", router, high) >= at("row_xy", router, low)
+
+    # Under XY, row inputs contend more than column inputs for the
+    # generic router ("X first, Y next" asymmetry, Section 3.2).
+    assert at("row_xy", "generic", high) > at("column_xy", "generic", high)

@@ -1,0 +1,35 @@
+"""Reproduces Figure 8 — latency vs injection rate, uniform random traffic."""
+
+from conftest import BENCH, once
+
+from repro.harness import figure8, report
+
+
+def test_figure8_uniform_latency(benchmark):
+    data = once(benchmark, lambda: figure8(BENCH))
+    print()
+    print(report.render_latency_figure(data, "Figure 8", "uniform"))
+
+    def lat(routing, router, rate):
+        return dict(data[routing][router])[rate]
+
+    for routing in ("xy", "xy-yx", "adaptive"):
+        for rate in BENCH.rates:
+            # Headline: RoCo reduces latency vs the generic router at
+            # every operating point (paper: 4-40%, growing with load).
+            assert lat(routing, "roco", rate) < lat(routing, "generic", rate)
+            # The Path-Sensitive router also beats the generic baseline.
+            assert lat(routing, "path_sensitive", rate) < lat(
+                routing, "generic", rate
+            )
+
+    # Magnitude: at low load RoCo's early-ejection + look-ahead advantage
+    # over the generic router is well into the paper's 4-40% band.
+    low = BENCH.rates[0]
+    gap = 1 - lat("xy", "roco", low) / lat("xy", "generic", low)
+    assert 0.04 <= gap <= 0.45
+
+    # Latency is monotonically non-decreasing with offered load.
+    for router in ("generic", "path_sensitive", "roco"):
+        curve = [lat("xy", router, r) for r in BENCH.rates]
+        assert curve == sorted(curve)

@@ -1,0 +1,29 @@
+"""Reproduces Figure 9 — latency vs injection rate, self-similar traffic."""
+
+from conftest import BENCH, once
+
+from repro.harness import figure9, report
+
+
+def test_figure9_selfsimilar_latency(benchmark):
+    data = once(benchmark, lambda: figure9(BENCH))
+    print()
+    print(report.render_latency_figure(data, "Figure 9", "self-similar"))
+
+    def lat(routing, router, rate):
+        return dict(data[routing][router])[rate]
+
+    # RoCo below generic at every sub-saturation point, every routing
+    # algorithm; at the top (near-saturation) rate the heavy-tailed
+    # bursts make single-seed latencies noisy, so allow a tolerance.
+    for routing in ("xy", "xy-yx", "adaptive"):
+        for rate in BENCH.rates[:-1]:
+            assert lat(routing, "roco", rate) < lat(routing, "generic", rate)
+        high = BENCH.rates[-1]
+        assert lat(routing, "roco", high) < 1.20 * lat(routing, "generic", high)
+
+    # Bursty arrivals cost latency versus smooth Bernoulli arrivals of
+    # the same mean rate (compare the Figure 8 numbers qualitatively).
+    low = BENCH.rates[0]
+    assert lat("xy", "generic", low) > 24  # uniform Fig 8 sits near 27
+

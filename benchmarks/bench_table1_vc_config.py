@@ -1,0 +1,31 @@
+"""Reproduces Table 1 — VC buffer configuration per routing algorithm."""
+
+from conftest import once
+
+from repro.harness import report, table1
+
+
+def test_table1_vc_configuration(benchmark):
+    data = once(benchmark, table1)
+    print()
+    print(report.render_table1(data))
+
+    # Exact reproduction of the paper's table.
+    assert data["adaptive"] == {
+        "row_port1": ["dx", "tyx", "Injxy"],
+        "row_port2": ["dx", "dx", "tyx"],
+        "column_port1": ["dy", "txy", "Injyx"],
+        "column_port2": ["dy", "txy", "txy"],
+    }
+    assert data["xy-yx"] == {
+        "row_port1": ["dx", "tyx", "Injxy"],
+        "row_port2": ["dx", "dx", "tyx"],
+        "column_port1": ["dy", "txy", "Injyx"],
+        "column_port2": ["dy", "dy", "txy"],
+    }
+    assert data["xy"] == {
+        "row_port1": ["dx", "dx", "Injxy"],
+        "row_port2": ["dx", "dx", "Injxy"],
+        "column_port1": ["dy", "txy", "Injyx"],
+        "column_port2": ["dy", "dy", "txy"],
+    }

@@ -1,0 +1,25 @@
+"""Reproduces Table 2 — non-blocking probabilities of the three crossbars."""
+
+import pytest
+from conftest import once
+
+from repro.analysis import non_blocking_assignments
+from repro.harness import report, table2
+
+
+def test_table2_non_blocking_probabilities(benchmark):
+    data = once(benchmark, table2)
+    print()
+    print(report.render_table2(data))
+
+    # Paper values: 0.043, 0.125, 0.25.
+    assert data["generic"] == pytest.approx(0.043, abs=5e-4)
+    assert data["path_sensitive"] == pytest.approx(0.125)
+    assert data["roco"] == pytest.approx(0.25)
+
+    # "Almost six times more likely ... and two times more likely."
+    assert data["roco"] / data["generic"] == pytest.approx(5.8, abs=0.2)
+    assert data["roco"] / data["path_sensitive"] == pytest.approx(2.0)
+
+    # Equation (1) consistency behind the generic number: F(5) = 44.
+    assert non_blocking_assignments(5) == 44

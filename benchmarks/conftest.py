@@ -1,0 +1,42 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper at the
+``BENCH`` scale (sized so the whole suite runs in minutes on a laptop),
+prints the paper-style rows, and asserts the figure's *shape targets* —
+who wins and by roughly what factor.  Swap ``BENCH`` for
+``repro.harness.PAPER`` to run the paper's full dimensions.
+"""
+
+from __future__ import annotations
+
+from repro.harness import ExperimentScale
+
+#: Benchmark scale: the paper's 8x8 mesh with reduced packet counts.
+BENCH = ExperimentScale(
+    name="bench",
+    width=8,
+    height=8,
+    warmup_packets=150,
+    measure_packets=900,
+    seeds=(7,),
+    rates=(0.05, 0.20, 0.30),
+    contention_rates=(0.10, 0.30, 0.50),
+    max_cycles=40_000,
+)
+
+#: Smaller scale for the fault sweeps (each fault run drains slowly).
+BENCH_FAULTS = ExperimentScale(
+    name="bench-faults",
+    width=8,
+    height=8,
+    warmup_packets=100,
+    measure_packets=500,
+    seeds=(7,),
+    rates=(0.30,),
+    max_cycles=30_000,
+)
+
+
+def once(benchmark, func):
+    """Run a reproduction exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

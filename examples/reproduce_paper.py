@@ -1,0 +1,83 @@
+"""Reproduce every table and figure of the paper's evaluation section.
+
+Runs the per-artifact runners of :mod:`repro.harness.figures` and prints
+paper-style reports.  Scale is selectable::
+
+    python examples/reproduce_paper.py            # quick (~2 min)
+    python examples/reproduce_paper.py standard   # multi-seed (~15 min)
+    python examples/reproduce_paper.py paper      # the paper's dimensions
+
+The benchmarks under ``benchmarks/`` assert the shape targets on the
+same runners; this script is the human-readable front end.
+"""
+
+import sys
+import time
+
+from repro.harness import (
+    QUICK,
+    SCALES,
+    figure3,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    report,
+    table1,
+    table2,
+)
+
+
+def main() -> None:
+    scale_name = sys.argv[1] if len(sys.argv) > 1 else "quick"
+    scale = SCALES.get(scale_name, QUICK)
+    print(f"Reproducing the evaluation at the '{scale.name}' scale "
+          f"({scale.width}x{scale.height} mesh, {scale.measure_packets} "
+          f"measured packets, seeds {scale.seeds}).\n")
+    start = time.time()
+
+    print(report.render_table1(table1()))
+    print()
+    print(report.render_table2(table2()))
+    print()
+
+    data = figure3(scale)
+    for panel, title in (
+        ("row_xy", "(a) row input, XY"),
+        ("column_xy", "(b) column input, XY"),
+        ("adaptive", "(c) adaptive"),
+    ):
+        print(
+            report.render_curves(
+                data[panel], x_label="inj rate",
+                title=f"== Figure 3 {title}: contention probability ==",
+            )
+        )
+        print()
+
+    print(report.render_latency_figure(figure8(scale), "Figure 8", "uniform"))
+    print()
+    print(report.render_latency_figure(figure9(scale), "Figure 9", "self-similar"))
+    print()
+    print(report.render_latency_figure(figure10(scale), "Figure 10", "transpose"))
+    print()
+    print(report.render_fault_figure(figure11(scale), "Figure 11 (critical faults)"))
+    print()
+    print(
+        report.render_fault_figure(
+            figure12(scale), "Figure 12 (non-critical faults)"
+        )
+    )
+    print()
+    print(report.render_figure13(figure13(scale)))
+    print()
+    print(report.render_figure14(figure14(scale)))
+    print()
+    print(f"Total reproduction time: {time.time() - start:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

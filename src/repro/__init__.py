@@ -1,0 +1,61 @@
+"""repro — reproduction of the RoCo Decoupled Router (ISCA 2006).
+
+A flit-level, cycle-accurate Network-on-Chip simulator implementing the
+Row-Column (RoCo) Decoupled Router of Kim et al. alongside the two
+baselines the paper compares against (a generic 2-stage VC router and
+the Path-Sensitive router), with the paper's routing algorithms, traffic
+patterns, 90 nm energy model, permanent-fault model with hardware
+recycling, and the combined Performance-Energy-Fault-tolerance (PEF)
+metric.
+
+Quickstart::
+
+    from repro import SimulationConfig, run_simulation
+
+    result = run_simulation(SimulationConfig(router="roco", routing="xy",
+                                             traffic="uniform",
+                                             injection_rate=0.2))
+    print(result.average_latency, result.energy_per_packet_nj)
+"""
+
+from repro.core.config import RouterConfig, SimulationConfig
+from repro.core.simulator import (
+    DeadlockError,
+    SimulationResult,
+    Simulator,
+    run_simulation,
+)
+from repro.core.types import Direction, NodeId, Packet, RoutingMode
+from repro.energy import EnergyModel, EnergyReport
+from repro.faults import Component, ComponentFault, apply_faults, random_faults
+from repro.metrics import PEFBreakdown, energy_delay_product, pef
+from repro.routers import ROUTER_CLASSES
+from repro.traffic import TRAFFIC_CLASSES, make_traffic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Component",
+    "ComponentFault",
+    "DeadlockError",
+    "Direction",
+    "EnergyModel",
+    "EnergyReport",
+    "NodeId",
+    "PEFBreakdown",
+    "Packet",
+    "ROUTER_CLASSES",
+    "RouterConfig",
+    "RoutingMode",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "TRAFFIC_CLASSES",
+    "apply_faults",
+    "energy_delay_product",
+    "make_traffic",
+    "pef",
+    "random_faults",
+    "run_simulation",
+    "__version__",
+]

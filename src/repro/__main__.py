@@ -1,0 +1,105 @@
+"""Command-line interface: ``python -m repro`` runs one simulation.
+
+Examples::
+
+    python -m repro --router roco --routing xy --rate 0.2
+    python -m repro --router generic --traffic transpose --rate 0.15 --size 8
+    python -m repro --router roco --faults 2 --fault-class critical
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import run_simulation
+from repro.core.types import NodeId
+from repro.faults.injector import random_faults
+from repro.routers import ROUTER_CLASSES
+from repro.traffic import TRAFFIC_CLASSES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cycle-accurate NoC simulation of the RoCo router and baselines",
+    )
+    parser.add_argument(
+        "--router", choices=sorted(ROUTER_CLASSES), default="roco"
+    )
+    parser.add_argument(
+        "--routing", choices=["xy", "xy-yx", "adaptive"], default="xy"
+    )
+    parser.add_argument(
+        "--traffic", choices=sorted(TRAFFIC_CLASSES), default="uniform"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=0.2, help="injection rate (flits/node/cycle)"
+    )
+    parser.add_argument("--size", type=int, default=8, help="mesh is size x size")
+    parser.add_argument(
+        "--topology",
+        choices=["mesh", "torus"],
+        default="mesh",
+        help="torus requires --router generic with XY routing",
+    )
+    parser.add_argument("--packets", type=int, default=2000, help="measured packets")
+    parser.add_argument("--warmup", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--faults", type=int, default=0, help="number of random permanent faults"
+    )
+    parser.add_argument(
+        "--fault-class",
+        choices=["critical", "non-critical"],
+        default="critical",
+        help="Figure-11 (router-centric) vs Figure-12 (message-centric) population",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = SimulationConfig(
+        width=args.size,
+        height=args.size,
+        topology=args.topology,
+        router=args.router,
+        routing=args.routing,
+        traffic=args.traffic,
+        injection_rate=args.rate,
+        warmup_packets=args.warmup,
+        measure_packets=args.packets,
+        seed=args.seed,
+    )
+    faults = []
+    if args.faults:
+        nodes = [
+            NodeId(x, y) for y in range(args.size) for x in range(args.size)
+        ]
+        faults = random_faults(
+            nodes,
+            args.faults,
+            random.Random(args.seed),
+            critical=args.fault_class == "critical",
+        )
+        for fault in faults:
+            print(
+                f"fault: {fault.component.value} at {fault.node} "
+                f"({fault.module} module)"
+            )
+    result = run_simulation(config, faults=faults)
+    print(result.summary_line())
+    print(
+        f"  latency p50/p95/p99: {result.latency.p50:.1f} / "
+        f"{result.latency.p95:.1f} / {result.latency.p99:.1f} cycles; "
+        f"throughput {result.throughput:.3f} flits/node/cycle; "
+        f"{result.cycles} cycles simulated"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Arbiter inventory accounting — paper Figure 2.
+
+Figure 2 compares the Virtual Channel Allocator complexity of the
+generic 5-port router and the RoCo router, for ``v`` VCs per port and
+the two routing-function variants:
+
+* **R => v** — routing returns a single output VC: only second-stage
+  arbiters exist, one per output VC.
+* **R => P** — routing returns the VCs of a single physical channel:
+  every input VC carries a first-stage v:1 arbiter, plus the same
+  second-stage arbiters.
+
+The RoCo router decouples the ports into East-West and North-South
+pairs and drops the PE path set thanks to Early Ejection, so it needs
+**fewer (4v vs 5v)** and **smaller (2v:1 vs 5v:1)** arbiters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ArbiterInventory:
+    """Counts and sizes of one allocator's arbiters."""
+
+    architecture: str
+    variant: str
+    first_stage_count: int
+    first_stage_width: int
+    second_stage_count: int
+    second_stage_width: int
+
+    @property
+    def total_request_lines(self) -> int:
+        """Aggregate arbiter input count — a proxy for area and energy."""
+        return (
+            self.first_stage_count * self.first_stage_width
+            + self.second_stage_count * self.second_stage_width
+        )
+
+
+def generic_va_inventory(v: int = 3, variant: str = "R=>P") -> ArbiterInventory:
+    """VA arbiters of the generic 5-port router (Figure 2(a))."""
+    ports = 5
+    if variant == "R=>v":
+        return ArbiterInventory("generic", variant, 0, 0, ports * v, ports * v)
+    if variant == "R=>P":
+        return ArbiterInventory(
+            "generic", variant, ports * v, v, ports * v, ports * v
+        )
+    raise ValueError(f"unknown routing-function variant {variant!r}")
+
+
+def roco_va_inventory(v: int = 3, variant: str = "R=>P") -> ArbiterInventory:
+    """VA arbiters of the RoCo router (Figure 2(b)).
+
+    Early Ejection removes the PE path set, so only 4 decoupled ports
+    remain, split into two independent 2-port groups; each group's
+    second-stage arbiters are 2v:1 and there are 2v of them per group
+    (4v total), versus the generic router's 5v arbiters of 5v:1.
+    """
+    groups = 2  # East-West and North-South
+    ports_per_group = 2
+    if variant == "R=>v":
+        return ArbiterInventory(
+            "roco", variant, 0, 0, groups * ports_per_group * v, ports_per_group * v
+        )
+    if variant == "R=>P":
+        return ArbiterInventory(
+            "roco",
+            variant,
+            groups * ports_per_group * v,
+            v,
+            groups * ports_per_group * v,
+            ports_per_group * v,
+        )
+    raise ValueError(f"unknown routing-function variant {variant!r}")
+
+
+def figure2(v: int = 3) -> dict[str, ArbiterInventory]:
+    """Both panels of Figure 2 for ``v`` VCs per port."""
+    return {
+        "generic R=>v": generic_va_inventory(v, "R=>v"),
+        "generic R=>P": generic_va_inventory(v, "R=>P"),
+        "roco R=>v": roco_va_inventory(v, "R=>v"),
+        "roco R=>P": roco_va_inventory(v, "R=>P"),
+    }

@@ -1,0 +1,108 @@
+"""First-order analytical performance model.
+
+Closed-form estimates that cross-validate the simulator (and vice
+versa): zero-load latency from the pipeline structure, and a
+saturation-throughput bound from bisection-channel load.  The test
+suite checks low-load simulation results against these formulas — a
+disagreement means either the model or the simulator drifted.
+
+Pipeline accounting (DESIGN.md Section 5.1):
+
+* every hop costs 3 cycles (stage 1: RC/VA/SA, stage 2: ST, 1 wire);
+* the generic router adds 1 RC cycle per hop for head flits (no
+  look-ahead routing) and 2 ejection cycles at the destination
+  (SA + ST through the crossbar to the PE port);
+* serialization adds ``flits_per_packet - 1`` cycles for the tail;
+* injection adds ~2 cycles (source push + first-stage allocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Cycles per hop: stage 1 + stage 2 + link.
+HOP_CYCLES = 3
+#: Source-side overhead before the head starts pipelining.
+INJECTION_OVERHEAD = 2
+
+
+def average_hops_uniform(k: int) -> float:
+    """Mean Manhattan distance between distinct nodes of a k x k mesh.
+
+    The mean one-dimension distance over ordered pairs (including
+    self-pairs) is (k^2 - 1) / (3k); summing both dimensions and
+    correcting for the excluded self-pairs gives the uniform-traffic
+    average hop count.
+    """
+    if k < 2:
+        raise ValueError("mesh must be at least 2x2")
+    n = k * k
+    per_dimension = (k * k - 1) / (3 * k)
+    # Distances are computed over all n^2 ordered pairs; uniform traffic
+    # excludes the n self-pairs (distance 0), so rescale.
+    return 2 * per_dimension * n * n / (n * n - n)
+
+
+@dataclass(frozen=True)
+class ZeroLoadEstimate:
+    """Predicted unloaded packet latency for one architecture."""
+
+    architecture: str
+    hops: float
+    head_cycles: float
+    serialization: float
+
+    @property
+    def total(self) -> float:
+        return INJECTION_OVERHEAD + self.head_cycles + self.serialization
+
+
+def zero_load_latency(
+    architecture: str, k: int = 8, flits_per_packet: int = 4
+) -> ZeroLoadEstimate:
+    """Unloaded end-to-end latency estimate, uniform traffic."""
+    hops = average_hops_uniform(k)
+    head = HOP_CYCLES * hops
+    if architecture == "generic":
+        head += hops  # per-hop RC cycle (no look-ahead)
+        head += 2  # ejection SA + ST at the destination
+    elif architecture not in ("path_sensitive", "roco"):
+        raise ValueError(f"unknown architecture {architecture!r}")
+    return ZeroLoadEstimate(
+        architecture=architecture,
+        hops=hops,
+        head_cycles=head,
+        serialization=flits_per_packet - 1,
+    )
+
+
+def bisection_saturation_rate(k: int) -> float:
+    """Upper bound on uniform-traffic throughput (flits/node/cycle).
+
+    Half the nodes' traffic crosses the bisection with probability 1/2,
+    over k channels per direction:  (k^2/2) * r * (1/2) <= k, so
+    r <= 4 / k.
+    """
+    if k < 2:
+        raise ValueError("mesh must be at least 2x2")
+    return 4 / k
+
+
+def expected_saturation_rate(k: int, router_efficiency: float = 0.75) -> float:
+    """Practical saturation estimate: bisection bound x router efficiency.
+
+    Real routers reach 60-85% of the bisection bound under XY routing;
+    the default 0.75 matches what the simulator achieves.
+    """
+    return bisection_saturation_rate(k) * router_efficiency
+
+
+def center_link_load(k: int, rate: float) -> float:
+    """Approximate flit load on a central X link under XY uniform traffic.
+
+    A directed X-channel at the bisection carries the eastbound traffic
+    of the k/2 columns to its west heading to the k/2 columns to its
+    east within the same row: rate * (k/4) * (k/2) / ... simplified to
+    the standard k/4 * rate scaling with a row-uniformity factor.
+    """
+    return rate * k / 4

@@ -1,0 +1,15 @@
+"""Arbitration primitives: round-robin, matrix (LRS) and the RoCo Mirror allocator."""
+
+from repro.arbiters.base import Arbiter
+from repro.arbiters.matrix import MatrixArbiter
+from repro.arbiters.mirror import MirrorAllocator, MirrorGrant, max_possible_matching
+from repro.arbiters.round_robin import RoundRobinArbiter
+
+__all__ = [
+    "Arbiter",
+    "MatrixArbiter",
+    "MirrorAllocator",
+    "MirrorGrant",
+    "RoundRobinArbiter",
+    "max_possible_matching",
+]

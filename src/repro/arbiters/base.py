@@ -1,0 +1,37 @@
+"""Arbiter interface.
+
+An arbiter picks one winner among the requesters of a shared resource
+each cycle.  Implementations differ in their fairness discipline; all are
+stateful because hardware arbiters carry priority state between cycles.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+class Arbiter(abc.ABC):
+    """Single-resource arbiter over a fixed number of request lines."""
+
+    def __init__(self, num_requesters: int) -> None:
+        if num_requesters < 1:
+            raise ValueError("arbiter needs at least one request line")
+        self.num_requesters = num_requesters
+
+    @abc.abstractmethod
+    def grant(self, requests: Sequence[bool]) -> int | None:
+        """Return the index of the winning request line, or None if idle.
+
+        ``requests`` must have exactly ``num_requesters`` entries.
+        Granting updates the arbiter's internal priority state.
+        """
+
+    def _check(self, requests: Sequence[bool]) -> None:
+        if len(requests) != self.num_requesters:
+            raise ValueError(
+                f"expected {self.num_requesters} request lines, got {len(requests)}"
+            )

@@ -1,0 +1,45 @@
+"""Matrix (least-recently-served) arbiter.
+
+Keeps a triangular priority matrix: ``_beats[i][j]`` is True when line
+``i`` currently outranks line ``j``.  A winner is the requester that
+outranks every other requester; granting demotes the winner below all
+others.  This is the classic LRS arbiter used in VC allocators when
+stronger fairness than round-robin is wanted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.arbiters.base import Arbiter
+
+
+class MatrixArbiter(Arbiter):
+    """Least-recently-served arbiter with a full priority matrix."""
+
+    def __init__(self, num_requesters: int) -> None:
+        super().__init__(num_requesters)
+        self._beats = [
+            [i < j for j in range(num_requesters)] for i in range(num_requesters)
+        ]
+
+    def grant(self, requests: Sequence[bool]) -> int | None:
+        self._check(requests)
+        winner = None
+        for i in range(self.num_requesters):
+            if not requests[i]:
+                continue
+            if all(
+                self._beats[i][j]
+                for j in range(self.num_requesters)
+                if j != i and requests[j]
+            ):
+                winner = i
+                break
+        if winner is None:
+            return None
+        for j in range(self.num_requesters):
+            if j != winner:
+                self._beats[winner][j] = False
+                self._beats[j][winner] = True
+        return winner

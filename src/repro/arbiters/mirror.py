@@ -1,0 +1,128 @@
+"""The Mirroring Effect switch allocator (paper Section 3.3, Figure 4).
+
+Each RoCo module owns a 2x2 crossbar: two input ports, two output
+directions (East/West for the Row-Module, North/South for the
+Column-Module).  The allocator works in two stages:
+
+* **Local stage** — every input port runs *two* v:1 arbiters, one per
+  output direction, producing that port's winning VC for each direction.
+* **Global stage** — a single 2:1 arbiter decides the direction granted to
+  port 1; port 2's grant is the *mirror image* (the opposite direction).
+  The global arbiter also sees port 2's state so the mirrored pair always
+  realises a maximal matching on the 2x2 switch.
+
+Compared to iterative separable allocation this needs one global arbiter
+per module instead of one per output port, and never leaves a servable
+request unserved (the matching is maximal by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arbiters.round_robin import RoundRobinArbiter
+
+
+@dataclass(frozen=True)
+class MirrorGrant:
+    """One crossbar passage granted for this cycle."""
+
+    port: int
+    direction_slot: int
+    vc_index: int
+
+
+class MirrorAllocator:
+    """Maximal-matching allocator for one 2x2 RoCo module.
+
+    Directions are abstracted to slots 0 and 1 (the module maps them onto
+    East/West or North/South).  ``num_vcs`` is the VC count per input
+    port.
+    """
+
+    def __init__(self, num_vcs: int) -> None:
+        self.num_vcs = num_vcs
+        # Two local v:1 arbiters per port: [port][direction_slot].
+        self._local = [
+            [RoundRobinArbiter(num_vcs), RoundRobinArbiter(num_vcs)] for _ in range(2)
+        ]
+        # The single global 2:1 arbiter of Figure 4 (direction of port 1).
+        self._global = RoundRobinArbiter(2)
+
+    def allocate(self, requests: list[list[list[bool]]]) -> list[MirrorGrant]:
+        """Run one allocation cycle.
+
+        ``requests[port][direction_slot][vc]`` is True when that VC's front
+        flit wants that output.  Returns at most one grant per port and at
+        most one per direction (mirrored), maximising the match count.
+        """
+        if len(requests) != 2 or any(len(r) != 2 for r in requests):
+            raise ValueError("mirror allocator expects a 2-port, 2-direction matrix")
+
+        # Local stage: winning VC per (port, direction), None when idle.
+        local: list[list[int | None]] = [[None, None], [None, None]]
+        for port in range(2):
+            for slot in range(2):
+                if any(requests[port][slot]):
+                    local[port][slot] = self._local[port][slot].grant(
+                        requests[port][slot]
+                    )
+
+        p1_has = [local[0][0] is not None, local[0][1] is not None]
+        p2_has = [local[1][0] is not None, local[1][1] is not None]
+
+        grants: list[MirrorGrant] = []
+        if p1_has[0] or p1_has[1]:
+            slot1 = self._choose_port1_slot(p1_has, p2_has)
+            grants.append(MirrorGrant(0, slot1, local[0][slot1]))
+            mirror_slot = 1 - slot1
+            if p2_has[mirror_slot]:
+                grants.append(MirrorGrant(1, mirror_slot, local[1][mirror_slot]))
+        elif p2_has[0] or p2_has[1]:
+            # Port 1 idle: the global arbiter serves port 2 directly.
+            slot2 = self._global.grant(p2_has)
+            grants.append(MirrorGrant(1, slot2, local[1][slot2]))
+        return grants
+
+    def _choose_port1_slot(self, p1_has: list[bool], p2_has: list[bool]) -> int:
+        """Pick port 1's direction, maximising the mirrored match count.
+
+        When both directions yield the same match count the 2:1 global
+        arbiter's rotating priority breaks the tie fairly.
+        """
+        scores = []
+        for slot in range(2):
+            if not p1_has[slot]:
+                scores.append(-1)
+            else:
+                scores.append(1 + (1 if p2_has[1 - slot] else 0))
+        if scores[0] == scores[1]:
+            return self._global.grant([True, True])
+        winner = 0 if scores[0] > scores[1] else 1
+        # Keep the global arbiter's state consistent with the decision.
+        self._global.grant([winner == 0, winner == 1])
+        return winner
+
+
+def matching_size(requests: list[list[list[bool]]], grants: list[MirrorGrant]) -> int:
+    """Number of crossbar passages realised; used by tests to check maximality."""
+    return len(grants)
+
+
+def max_possible_matching(requests: list[list[list[bool]]]) -> int:
+    """Brute-force maximum matching size on the 2x2 request matrix."""
+    has = [[any(requests[p][s]) for s in range(2)] for p in range(2)]
+    best = 0
+    # Enumerate assignments: each port takes one direction slot or none,
+    # with distinct slots.
+    for s1 in (None, 0, 1):
+        for s2 in (None, 0, 1):
+            if s1 is not None and s1 == s2:
+                continue
+            size = 0
+            if s1 is not None and has[0][s1]:
+                size += 1
+            if s2 is not None and has[1][s2]:
+                size += 1
+            best = max(best, size)
+    return best

@@ -1,0 +1,40 @@
+"""Round-robin arbiter — the workhorse of both VA and SA stages."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.arbiters.base import Arbiter
+
+
+class RoundRobinArbiter(Arbiter):
+    """Rotating-priority arbiter.
+
+    After a grant, the line *after* the winner becomes highest priority,
+    which gives strong fairness (every persistent requester is served
+    within ``num_requesters`` grants).
+    """
+
+    def __init__(self, num_requesters: int) -> None:
+        super().__init__(num_requesters)
+        self._next = 0
+
+    def grant(self, requests: Sequence[bool]) -> int | None:
+        self._check(requests)
+        n = self.num_requesters
+        for offset in range(n):
+            idx = (self._next + offset) % n
+            if requests[idx]:
+                self._next = (idx + 1) % n
+                return idx
+        return None
+
+    def peek(self, requests: Sequence[bool]) -> int | None:
+        """Like :meth:`grant` but without advancing priority state."""
+        self._check(requests)
+        n = self.num_requesters
+        for offset in range(n):
+            idx = (self._next + offset) % n
+            if requests[idx]:
+                return idx
+        return None

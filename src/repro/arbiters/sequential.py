@@ -1,0 +1,52 @@
+"""Baseline 2x2 switch allocator without the Mirroring Effect.
+
+Used by the mirror-allocation ablation: a plain two-stage separable
+allocator over the same 2-port / 2-direction module.  Each input port
+blindly nominates one ready VC (a single v:1 arbiter per port, no
+per-direction local winners), then each direction picks among the
+nominating ports.  Unlike the Mirror allocator this provides no
+maximal-matching guarantee: a port whose nominee loses its direction
+idles even when its other VCs wanted the free direction.
+"""
+
+from __future__ import annotations
+
+from repro.arbiters.mirror import MirrorGrant
+from repro.arbiters.round_robin import RoundRobinArbiter
+
+
+class SequentialAllocator:
+    """Drop-in (non-maximal) replacement for :class:`MirrorAllocator`."""
+
+    def __init__(self, num_vcs: int) -> None:
+        self.num_vcs = num_vcs
+        self._port_stage = [RoundRobinArbiter(num_vcs) for _ in range(2)]
+        self._direction_stage = [RoundRobinArbiter(2) for _ in range(2)]
+
+    def allocate(self, requests: list[list[list[bool]]]) -> list[MirrorGrant]:
+        if len(requests) != 2 or any(len(r) != 2 for r in requests):
+            raise ValueError("sequential allocator expects a 2x2 request matrix")
+        # Stage 1: one nominee per port, chosen blind to direction load.
+        nominees: list[tuple[int, int] | None] = [None, None]
+        for port in range(2):
+            flat = [
+                requests[port][0][vc] or requests[port][1][vc]
+                for vc in range(self.num_vcs)
+            ]
+            if not any(flat):
+                continue
+            vc = self._port_stage[port].grant(flat)
+            slot = 0 if requests[port][0][vc] else 1
+            nominees[port] = (slot, vc)
+        # Stage 2: each direction grants one nominating port.
+        grants: list[MirrorGrant] = []
+        for slot in range(2):
+            lines = [
+                nominees[port] is not None and nominees[port][0] == slot
+                for port in range(2)
+            ]
+            if not any(lines):
+                continue
+            port = self._direction_stage[slot].grant(lines)
+            grants.append(MirrorGrant(port, slot, nominees[port][1]))
+        return grants

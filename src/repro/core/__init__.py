@@ -1,0 +1,50 @@
+"""Core simulation substrate: types, buffers, links, network, simulator."""
+
+from repro.core.buffer import CREDIT_LATENCY, VirtualChannel
+from repro.core.channel import LINK_DELAY, Channel
+from repro.core.config import RouterConfig, SimulationConfig
+from repro.core.network import Network
+from repro.core.simulator import (
+    DeadlockError,
+    SimulationResult,
+    Simulator,
+    run_simulation,
+)
+from repro.core.statistics import ActivityCounters, ContentionCounters, StatsCollector
+from repro.core.types import (
+    CARDINALS,
+    Direction,
+    Flit,
+    FlitType,
+    NodeId,
+    Packet,
+    RoutingMode,
+    is_worm_tail,
+    make_packet_flits,
+)
+
+__all__ = [
+    "ActivityCounters",
+    "CARDINALS",
+    "CREDIT_LATENCY",
+    "Channel",
+    "ContentionCounters",
+    "DeadlockError",
+    "Direction",
+    "Flit",
+    "FlitType",
+    "LINK_DELAY",
+    "Network",
+    "NodeId",
+    "Packet",
+    "RouterConfig",
+    "RoutingMode",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "StatsCollector",
+    "VirtualChannel",
+    "is_worm_tail",
+    "make_packet_flits",
+    "run_simulation",
+]

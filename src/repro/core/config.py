@@ -1,0 +1,123 @@
+"""Simulation configuration objects.
+
+A single :class:`SimulationConfig` captures everything the paper's
+simulator is "fully parameterizable" over (Section 5.1): network size,
+routing algorithm, VCs per port, buffer depth, injection rate and traffic
+type, flit size and flits per packet, plus the warm-up / measurement
+phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import RoutingMode
+
+
+@dataclass
+class RouterConfig:
+    """Static structural parameters of one router instance.
+
+    The defaults reproduce the paper's fairness setup (Section 5.4): the
+    generic router uses 3 VCs x 4-flit buffers on 5 ports (60 flits); the
+    4-port Path-Sensitive and RoCo routers use 3 VCs x 5-flit buffers on 4
+    path sets (60 flits).  Router implementations override ``buffer_depth``
+    accordingly via :meth:`for_architecture`.
+    """
+
+    vcs_per_port: int = 3
+    buffer_depth: int = 4
+    flit_width_bits: int = 128
+    #: Ablation switch: use the Mirroring Effect allocator for RoCo's
+    #: 2x2 crossbars (Section 3.3).  False falls back to a plain
+    #: two-stage separable allocator with no maximal-matching guarantee.
+    mirror_allocation: bool = True
+    #: Ablation switch: look-ahead routing (Section 3.1).  False charges
+    #: RoCo and Path-Sensitive head flits the same post-arrival RC cycle
+    #: the generic router pays.
+    lookahead_routing: bool = True
+
+    @classmethod
+    def for_architecture(cls, architecture: str, **overrides) -> "RouterConfig":
+        """Paper-default configuration for a named architecture.
+
+        ``architecture`` is one of ``"generic"``, ``"path_sensitive"``,
+        ``"roco"``.  Keyword overrides win over the defaults.
+        """
+        depths = {"generic": 4, "path_sensitive": 5, "roco": 5}
+        if architecture not in depths:
+            raise ValueError(f"unknown architecture {architecture!r}")
+        params = {"buffer_depth": depths[architecture]}
+        params.update(overrides)
+        return cls(**params)
+
+
+@dataclass
+class SimulationConfig:
+    """Full description of one simulation run."""
+
+    #: Network is ``width x height``; the paper evaluates an 8x8 mesh.
+    width: int = 8
+    height: int = 8
+    #: "mesh" (the paper's evaluation) or "torus".  Torus support is
+    #: implemented for the generic router under XY routing, using
+    #: Dally-Seitz dateline VC classes to break the ring cycles; the
+    #: RoCo/Path-Sensitive VC structures are defined by the paper for
+    #: meshes only.
+    topology: str = "mesh"
+    router: str = "roco"
+    routing: RoutingMode = RoutingMode.XY
+    traffic: str = "uniform"
+    #: Offered load in flits/node/cycle (the paper's x-axis unit).
+    injection_rate: float = 0.1
+    flits_per_packet: int = 4
+    router_config: RouterConfig | None = None
+    #: Packets injected before measurement starts (paper: 20,000).
+    warmup_packets: int = 500
+    #: Packets measured after warm-up (paper: 1,000,000).
+    measure_packets: int = 3000
+    #: Hard ceiling on simulated cycles (guards faulty-network runs, where
+    #: the paper stops after "twice the fault-free completion time").
+    max_cycles: int = 200_000
+    #: Cycles a head flit may stall against a dead resource before its
+    #: packet is discarded (faulty networks only).
+    fault_drop_timeout: int = 200
+    #: Cycles of network-wide inactivity after the last injection that end
+    #: the run early (drain detection).
+    drain_timeout: int = 2_000
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.router_config is None:
+            self.router_config = RouterConfig.for_architecture(self.router)
+        if isinstance(self.routing, str):
+            self.routing = RoutingMode(self.routing)
+        if self.width < 2 or self.height < 2:
+            raise ValueError("mesh must be at least 2x2")
+        if not 0.0 <= self.injection_rate <= 1.0:
+            raise ValueError("injection rate must be within [0, 1] flits/node/cycle")
+        if self.flits_per_packet < 1:
+            raise ValueError("packets need at least one flit")
+        if self.topology not in ("mesh", "torus"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.topology == "torus":
+            if self.router != "generic" or self.routing is not RoutingMode.XY:
+                raise ValueError(
+                    "torus support requires router='generic' with XY routing "
+                    "(dateline VC classes; see docs/modeling-notes.md)"
+                )
+            if self.width < 3 or self.height < 3:
+                raise ValueError("a torus needs at least 3 nodes per ring")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    @property
+    def total_packets(self) -> int:
+        return self.warmup_packets + self.measure_packets
+
+    @property
+    def packet_injection_rate(self) -> float:
+        """Per-node packet generation probability per cycle."""
+        return self.injection_rate / self.flits_per_packet

@@ -1,0 +1,147 @@
+"""The 2D-mesh network: router grid, link phases and delivery bookkeeping.
+
+The network advances all routers through the per-cycle phase order of
+Section 5.1 of DESIGN.md: link delivery, switch traversal, allocation.
+It also owns the run-wide statistics collector and the fault registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import SimulationConfig
+from repro.core.statistics import StatsCollector
+from repro.core.topology import make_topology
+from repro.core.types import Direction, Flit, NodeId, Packet, is_worm_tail
+from repro.routing import make_routing
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.routers.base import BaseRouter
+
+
+class Network:
+    """A ``width x height`` mesh of homogeneous routers."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        from repro.routers import make_router  # local import: cycle guard
+
+        self.config = config
+        self.topology = make_topology(config.topology, config.width, config.height)
+        self.routing = make_routing(config.routing)
+        self.routing.topology = self.topology
+        self.stats = StatsCollector(num_nodes=config.num_nodes)
+        self.cycle = 0
+        self.has_faults = False
+        self.routers: dict[NodeId, "BaseRouter"] = {}
+        for y in range(config.height):
+            for x in range(config.width):
+                node = NodeId(x, y)
+                self.routers[node] = make_router(config.router, node, self)
+        self._router_list = list(self.routers.values())
+        #: Set by the simulator: callbacks fired on packet completion.
+        self.on_packet_delivered = None
+        self.on_packet_dropped = None
+        #: Optional FlightRecorder (repro.instrumentation.trace); when
+        #: attached, routers emit per-flit events.
+        self.trace = None
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def in_mesh(self, node: NodeId) -> bool:
+        return self.topology.contains(node)
+
+    def neighbor_of(self, node: NodeId, direction: Direction) -> NodeId | None:
+        """The adjacent node in ``direction`` (wrap-aware), or None."""
+        return self.topology.neighbor(node, direction)
+
+    def router_at(self, node: NodeId) -> "BaseRouter":
+        return self.routers[node]
+
+    @property
+    def nodes(self) -> list[NodeId]:
+        return list(self.routers)
+
+    def wire(self) -> None:
+        """Finalise neighbour wiring; call after fault injection."""
+        for router in self._router_list:
+            router.wire()
+
+    # ------------------------------------------------------------------
+    # Cycle advance
+    # ------------------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        """Run one cycle's phases for every router."""
+        self.cycle = cycle
+        for router in self._router_list:
+            router.deliver_incoming(cycle)
+        for router in self._router_list:
+            router.traverse(cycle)
+        for router in self._router_list:
+            router.allocate(cycle)
+        self.stats.tick()
+
+    # ------------------------------------------------------------------
+    # Delivery and dropping
+    # ------------------------------------------------------------------
+
+    def eject(self, flit: Flit, node: NodeId, cycle: int, early: bool) -> None:
+        """Consume a flit at its destination PE."""
+        packet = flit.packet
+        if packet.dropped_cycle is not None:
+            return
+        if early:
+            self.stats.activity.early_ejections += 1
+        if self.trace is not None:
+            from repro.instrumentation.trace import EventKind
+
+            self.trace.record(cycle, EventKind.EJECT, flit, node,
+                              "early" if early else "via crossbar")
+        packet.flits_delivered += 1
+        self.stats.flit_delivered(packet.measured)
+        if is_worm_tail(flit):
+            packet.delivered_cycle = cycle
+            self.stats.packet_delivered(
+                packet,
+                packet.measured,
+                hops=self.topology.distance(packet.src, packet.dest),
+            )
+            if self.on_packet_delivered is not None:
+                self.on_packet_delivered(packet)
+
+    def drop_packet(self, packet: Packet, cycle: int) -> None:
+        """Abort a worm network-wide (fault-timeout discard, Section 4.1)."""
+        if packet.dropped_cycle is not None or packet.delivered_cycle is not None:
+            return
+        packet.dropped_cycle = cycle
+        for router in self._router_list:
+            router.purge_packet(packet.pid, cycle)
+        self.stats.packet_dropped(packet, packet.measured)
+        if self.on_packet_dropped is not None:
+            self.on_packet_dropped(packet)
+
+    # ------------------------------------------------------------------
+    # Fault-awareness queries (handshake-signal knowledge, Section 4.1)
+    # ------------------------------------------------------------------
+
+    def can_transit(self, node: NodeId, direction: Direction) -> bool:
+        """Whether ``node`` can currently forward traffic towards ``direction``."""
+        router = self.routers[node]
+        if router.dead:
+            return False
+        module_for = getattr(router, "module_for", None)
+        if module_for is not None and direction is not Direction.LOCAL:
+            return not module_for(direction).dead
+        return True
+
+    def node_blocked(self, node: NodeId) -> bool:
+        """Conservative per-node health used by XY-YX variant selection."""
+        router = self.routers[node]
+        if router.dead:
+            return True
+        modules = getattr(router, "modules", None)
+        if modules is not None:
+            return any(m.dead for m in modules.values())
+        return False

@@ -1,0 +1,334 @@
+"""The flit-level cycle-accurate simulator (paper Section 5.1).
+
+Orchestrates a run: packet generation per the traffic pattern, injection
+through per-node sources, network cycle stepping, termination detection
+(drain in healthy networks, inactivity timeout in faulty ones — the
+paper stops a faulty run after twice the fault-free completion time),
+and the final energy accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.config import SimulationConfig
+from repro.core.network import Network
+from repro.core.statistics import StatsCollector
+from repro.core.types import (
+    Flit,
+    NodeId,
+    Packet,
+    RoutingMode,
+    make_packet_flits,
+)
+from repro.energy.model import EnergyModel, EnergyReport
+from repro.faults.injector import ComponentFault, apply_faults
+from repro.metrics.latency import LatencySummary
+from repro.metrics.pef import pef
+from repro.routing.xyyx import choose_variant
+from repro.traffic import TrafficPattern, make_traffic
+
+
+class DeadlockError(RuntimeError):
+    """Raised when a fault-free network stops making progress entirely."""
+
+
+class Source:
+    """Per-node packet source: a generation queue feeding the PE port."""
+
+    __slots__ = ("node", "router", "queue", "current", "vc")
+
+    def __init__(self, node: NodeId, router) -> None:
+        self.node = node
+        self.router = router
+        #: Generated packets waiting to start injection.
+        self.queue: deque[Packet] = deque()
+        #: Flits of the packet currently being streamed into its VC.
+        self.current: deque[Flit] | None = None
+        self.vc = None
+
+    def inject(self, network: Network, cycle: int) -> None:
+        """Advance injection by at most one flit (PE link bandwidth)."""
+        if self.current is None and self.queue:
+            self._start_next_packet(network, cycle)
+        if not self.current:
+            return
+        flit = self.current[0]
+        if flit.packet.dropped_cycle is not None:
+            if self.vc.owner_pid == flit.packet.pid:
+                self.vc.release_owner()
+            self.current = None
+            self.vc = None
+            return
+        if self.vc.credits(cycle) <= 0:
+            return
+        self.current.popleft()
+        self.vc.reserve_slot(cycle)
+        self.vc.push(flit)
+        flit.arrival = cycle
+        if network.trace is not None:
+            from repro.instrumentation.trace import EventKind
+
+            network.trace.record(cycle, EventKind.INJECT, flit, self.node)
+        if flit.is_head:
+            self.vc.active_pid = flit.packet.pid
+        network.stats.activity.buffer_writes += 1
+        if not self.current:
+            # Tail pushed: release the VC for the next worm.
+            self.vc.release_owner()
+            self.current = None
+            self.vc = None
+
+    def _start_next_packet(self, network: Network, cycle: int) -> None:
+        packet = self.queue[0]
+        if not self.router.injection_possible(packet):
+            # The packet can never leave this PE (e.g. the only module
+            # able to start its route is dead) — it is lost.
+            self.queue.popleft()
+            network.drop_packet(packet, cycle)
+            return
+        admission = self.router.injection_vc_for(packet)
+        if admission is None:
+            return
+        vc, route = admission
+        vc.claim(packet.pid)
+        self.queue.popleft()
+        packet.injected_cycle = cycle
+        flits = make_packet_flits(packet)
+        flits[0].route = route
+        self.current = deque(flits)
+        self.vc = vc
+
+    @property
+    def backlog(self) -> int:
+        queued = sum(p.size for p in self.queue)
+        return queued + (len(self.current) if self.current else 0)
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished run reports."""
+
+    config: SimulationConfig
+    average_latency: float
+    latency: LatencySummary
+    average_hops: float
+    injected_packets: int
+    delivered_packets: int
+    dropped_packets: int
+    completion_probability: float
+    throughput: float
+    cycles: int
+    energy: EnergyReport
+    contention_row: float
+    contention_column: float
+    contention_overall: float
+    faults: list[ComponentFault] = field(default_factory=list)
+
+    @property
+    def energy_per_packet_nj(self) -> float:
+        return self.energy.per_packet_nj
+
+    @property
+    def edp(self) -> float:
+        """Energy-Delay Product in nJ x cycles."""
+        return self.average_latency * self.energy_per_packet_nj
+
+    @property
+    def pef(self) -> float:
+        """Performance-Energy-Fault-tolerance metric (nJ x cycles / prob)."""
+        return pef(
+            self.average_latency,
+            self.energy_per_packet_nj,
+            self.completion_probability,
+        )
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.config.router:>14s} {self.config.routing.value:>8s} "
+            f"{self.config.traffic:>12s} rate={self.config.injection_rate:.2f} "
+            f"lat={self.average_latency:7.2f} cyc "
+            f"E/pkt={self.energy_per_packet_nj:6.3f} nJ "
+            f"compl={self.completion_probability:5.3f} pef={self.pef:8.2f}"
+        )
+
+
+class Simulator:
+    """One end-to-end simulation run."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        traffic: TrafficPattern | None = None,
+        faults: list[ComponentFault] | None = None,
+    ) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.network = Network(config)
+        self.traffic = traffic if traffic is not None else make_traffic(config.traffic)
+        self.traffic.bind(config, self.rng, self.network.nodes)
+        self.faults = list(faults) if faults else []
+        apply_faults(self.network, self.faults)
+        self.network.wire()
+        self.sources = {
+            node: Source(node, self.network.router_at(node))
+            for node in self.network.nodes
+        }
+        self._generated = 0
+        self._outstanding = 0
+        self._next_pid = 0
+        #: External observers (instrumentation probes) notified on
+        #: packet completion events; see repro.instrumentation.
+        self.delivery_listeners: list = []
+        self.drop_listeners: list = []
+        self.network.on_packet_delivered = self._on_packet_delivered
+        self.network.on_packet_dropped = self._on_packet_dropped
+
+    # ------------------------------------------------------------------
+
+    def run(self, progress=None, progress_every: int = 5000) -> SimulationResult:
+        """Simulate to completion and return the result record.
+
+        ``progress(cycle, generated, outstanding)`` is invoked every
+        ``progress_every`` cycles — useful for paper-scale runs where a
+        pure-Python simulation takes minutes.
+        """
+        config = self.config
+        stats = self.network.stats
+        last_progress_cycle = 0
+        last_signature = (-1, -1)
+        cycle = 0
+        for cycle in range(config.max_cycles):
+            if progress is not None and cycle and cycle % progress_every == 0:
+                progress(cycle, self._generated, self._outstanding)
+            if self._generated < config.total_packets:
+                self._generate(cycle)
+            for source in self.sources.values():
+                source.inject(self.network, cycle)
+            self.network.step(cycle)
+
+            signature = (
+                stats.activity.crossbar_traversals + stats.activity.buffer_writes,
+                self._outstanding,
+            )
+            if signature != last_signature:
+                last_signature = signature
+                last_progress_cycle = cycle
+            if self._generated >= config.total_packets and self._outstanding == 0:
+                break
+            if cycle - last_progress_cycle > config.drain_timeout:
+                if self.network.has_faults:
+                    break  # The paper's inactivity termination rule.
+                raise DeadlockError(
+                    f"no progress for {config.drain_timeout} cycles at cycle "
+                    f"{cycle} with {self._outstanding} packets outstanding"
+                )
+        self._drop_survivors(cycle)
+        return self._build_result(cycle + 1)
+
+    # ------------------------------------------------------------------
+
+    def _generate(self, cycle: int) -> None:
+        config = self.config
+        for node, source in self.sources.items():
+            if self._generated >= config.total_packets:
+                return
+            if not self.network.router_at(node).accepting_any_injection():
+                continue
+            for _ in range(self.traffic.arrivals(node, cycle)):
+                source.queue.append(self._create_packet(node, cycle))
+                if self._generated >= config.total_packets:
+                    return
+
+    def _create_packet(self, src: NodeId, cycle: int) -> Packet:
+        dest = self.traffic.destination(src)
+        if self._generated == self.config.warmup_packets:
+            self.network.stats.start_measurement(cycle)
+        packet = Packet(
+            pid=self._next_pid,
+            src=src,
+            dest=dest,
+            size=self.config.flits_per_packet,
+            created_cycle=cycle,
+        )
+        self._next_pid += 1
+        self._generated += 1
+        self._outstanding += 1
+        packet.measured = self.network.stats.packet_created(packet)
+        if self.config.routing is RoutingMode.XY_YX:
+            blocked = self.network.node_blocked if self.network.has_faults else None
+            packet.yx_first = choose_variant(src, dest, self.rng, blocked)
+        return packet
+
+    def _on_packet_done(self, packet: Packet) -> None:
+        self._outstanding -= 1
+
+    def _on_packet_delivered(self, packet: Packet) -> None:
+        self._on_packet_done(packet)
+        for listener in self.delivery_listeners:
+            listener(packet)
+
+    def _on_packet_dropped(self, packet: Packet) -> None:
+        self._on_packet_done(packet)
+        for listener in self.drop_listeners:
+            listener(packet)
+
+    def _drop_survivors(self, cycle: int) -> None:
+        """Count packets still in flight / queued at termination as lost."""
+        if self._outstanding == 0:
+            return
+        for source in self.sources.values():
+            for packet in list(source.queue):
+                self.network.drop_packet(packet, cycle)
+            source.queue.clear()
+            if source.current:
+                self.network.drop_packet(source.current[0].packet, cycle)
+                source.current = None
+                source.vc = None
+        # Anything still threaded through the network.
+        for router in self.network.routers.values():
+            for vc in router.all_vcs():
+                while vc.queue:
+                    flit = vc.queue[0]
+                    if flit.packet.dropped_cycle is None:
+                        self.network.drop_packet(flit.packet, cycle)
+                    else:
+                        vc.queue.popleft()
+        self._outstanding = 0
+
+    # ------------------------------------------------------------------
+
+    def _build_result(self, cycles: int) -> SimulationResult:
+        stats = self.network.stats
+        model = EnergyModel(self.config.router, self.config.num_nodes)
+        energy = model.report(
+            stats.activity, stats.measured_cycles, stats.delivered_packets
+        )
+        return SimulationResult(
+            config=self.config,
+            average_latency=stats.average_latency,
+            latency=LatencySummary.from_samples(stats.latencies),
+            average_hops=stats.average_hops,
+            injected_packets=stats.injected_packets,
+            delivered_packets=stats.delivered_packets,
+            dropped_packets=stats.dropped_packets,
+            completion_probability=stats.completion_probability,
+            throughput=stats.throughput_flits_per_node_cycle,
+            cycles=cycles,
+            energy=energy,
+            contention_row=stats.contention.row_probability,
+            contention_column=stats.contention.column_probability,
+            contention_overall=stats.contention.overall_probability,
+            faults=self.faults,
+        )
+
+
+def run_simulation(
+    config: SimulationConfig,
+    traffic: TrafficPattern | None = None,
+    faults: list[ComponentFault] | None = None,
+) -> SimulationResult:
+    """Convenience one-call entry point: build, run, return the result."""
+    return Simulator(config, traffic=traffic, faults=faults).run()

@@ -1,0 +1,182 @@
+"""Simulation statistics: latency, throughput, completion, activity.
+
+The collector distinguishes a *warm-up* phase from the *measurement* phase
+exactly like the paper (Section 5.4): only packets created after warm-up
+contribute to latency and completion statistics, but activity counters for
+the energy model run over the measurement window of cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import Packet
+
+
+@dataclass
+class ActivityCounters:
+    """Per-network component activity, consumed by the energy model.
+
+    Each field counts events whose energy cost the profile defines:
+    buffer writes/reads (per flit), crossbar traversals (per flit),
+    VA allocation attempts, SA arbitration requests, link flit
+    traversals and early ejections.
+    """
+
+    buffer_writes: int = 0
+    buffer_reads: int = 0
+    crossbar_traversals: int = 0
+    va_requests: int = 0
+    sa_requests: int = 0
+    link_flits: int = 0
+    early_ejections: int = 0
+
+    def merged(self, other: "ActivityCounters") -> "ActivityCounters":
+        return ActivityCounters(
+            buffer_writes=self.buffer_writes + other.buffer_writes,
+            buffer_reads=self.buffer_reads + other.buffer_reads,
+            crossbar_traversals=self.crossbar_traversals + other.crossbar_traversals,
+            va_requests=self.va_requests + other.va_requests,
+            sa_requests=self.sa_requests + other.sa_requests,
+            link_flits=self.link_flits + other.link_flits,
+            early_ejections=self.early_ejections + other.early_ejections,
+        )
+
+
+@dataclass
+class ContentionCounters:
+    """Crossbar-input contention bookkeeping for Figure 3.
+
+    A request *contends* when, in the same cycle, another input requests
+    the same output port.  Row/column classification follows the paper:
+    requests issued by East/West inputs are row requests, North/South are
+    column requests.
+    """
+
+    row_requests: int = 0
+    row_contended: int = 0
+    column_requests: int = 0
+    column_contended: int = 0
+
+    @property
+    def row_probability(self) -> float:
+        return self.row_contended / self.row_requests if self.row_requests else 0.0
+
+    @property
+    def column_probability(self) -> float:
+        return (
+            self.column_contended / self.column_requests
+            if self.column_requests
+            else 0.0
+        )
+
+    @property
+    def overall_probability(self) -> float:
+        total = self.row_requests + self.column_requests
+        if not total:
+            return 0.0
+        return (self.row_contended + self.column_contended) / total
+
+
+class StatsCollector:
+    """Aggregates everything a run reports.
+
+    ``measuring`` is toggled by the simulator once warm-up completes;
+    packet-level statistics only count measured packets (those created
+    while ``measuring`` is True).
+    """
+
+    def __init__(self, num_nodes: int = 1) -> None:
+        self.num_nodes = num_nodes
+        self.measuring = False
+        self.measure_start_cycle: int | None = None
+        self.latencies: list[int] = []
+        self.hops: list[int] = []
+        self.injected_packets = 0
+        self.delivered_packets = 0
+        self.dropped_packets = 0
+        self.delivered_flits = 0
+        self.activity = ActivityCounters()
+        self.contention = ContentionCounters()
+        self.measured_cycles = 0
+
+    # -- phase control ----------------------------------------------------
+
+    def start_measurement(self, cycle: int) -> None:
+        self.measuring = True
+        self.measure_start_cycle = cycle
+
+    def tick(self) -> None:
+        if self.measuring:
+            self.measured_cycles += 1
+
+    # -- packet events ----------------------------------------------------
+
+    def packet_created(self, packet: Packet) -> bool:
+        """Record a new packet; returns True when it is a measured packet."""
+        if self.measuring:
+            self.injected_packets += 1
+            return True
+        return False
+
+    def packet_delivered(
+        self, packet: Packet, measured: bool, hops: int | None = None
+    ) -> None:
+        if measured:
+            self.delivered_packets += 1
+            self.latencies.append(packet.latency)
+            if hops is None:
+                hops = abs(packet.dest.x - packet.src.x) + abs(
+                    packet.dest.y - packet.src.y
+                )
+            self.hops.append(hops)
+
+    def packet_dropped(self, packet: Packet, measured: bool) -> None:
+        if measured:
+            self.dropped_packets += 1
+
+    def flit_delivered(self, measured: bool) -> None:
+        if measured:
+            self.delivered_flits += 1
+
+    # -- derived metrics --------------------------------------------------
+
+    @property
+    def average_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> int:
+        return max(self.latencies) if self.latencies else 0
+
+    @property
+    def average_hops(self) -> float:
+        return sum(self.hops) / len(self.hops) if self.hops else 0.0
+
+    @property
+    def completion_probability(self) -> float:
+        """Received / injected — the paper's fault-tolerance metric."""
+        if not self.injected_packets:
+            return 1.0
+        return self.delivered_packets / self.injected_packets
+
+    @property
+    def throughput_flits_per_node_cycle(self) -> float:
+        """Accepted traffic rate over the measurement window."""
+        if not self.measured_cycles:
+            return 0.0
+        return self.delivered_flits / self.measured_cycles / max(1, self.num_nodes)
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot used by the harness and reports."""
+        return {
+            "average_latency": self.average_latency,
+            "average_hops": self.average_hops,
+            "injected_packets": self.injected_packets,
+            "delivered_packets": self.delivered_packets,
+            "dropped_packets": self.dropped_packets,
+            "completion_probability": self.completion_probability,
+            "measured_cycles": self.measured_cycles,
+        }

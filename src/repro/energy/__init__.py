@@ -1,0 +1,18 @@
+"""90 nm activity-based energy model (paper Section 5.2 substitution)."""
+
+from repro.energy.model import EnergyModel, EnergyReport
+from repro.energy.profiles import (
+    CROSSPOINTS,
+    PROFILES,
+    RouterEnergyProfile,
+    profile_for,
+)
+
+__all__ = [
+    "CROSSPOINTS",
+    "EnergyModel",
+    "EnergyReport",
+    "PROFILES",
+    "RouterEnergyProfile",
+    "profile_for",
+]

@@ -1,0 +1,71 @@
+"""Activity-based energy accounting.
+
+Exactly mirrors the paper's methodology (Section 5.2): the simulator
+counts component activations; each activation is multiplied by the
+synthesized (here: analytically estimated) per-event energy, and leakage
+accrues per router per cycle.  Energy-per-packet divides the network
+total over the measurement window by the packets delivered in it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.statistics import ActivityCounters
+from repro.energy.profiles import RouterEnergyProfile, profile_for
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy totals for one measurement window, in Joules."""
+
+    dynamic: float
+    leakage: float
+    delivered_packets: int
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.leakage
+
+    @property
+    def per_packet(self) -> float:
+        """Energy consumed per delivered packet (the paper's Figure 13)."""
+        if not self.delivered_packets:
+            return 0.0
+        return self.total / self.delivered_packets
+
+    @property
+    def per_packet_nj(self) -> float:
+        return self.per_packet * 1e9
+
+
+class EnergyModel:
+    """Computes an :class:`EnergyReport` from simulator activity."""
+
+    def __init__(self, architecture: str, num_routers: int) -> None:
+        self.profile: RouterEnergyProfile = profile_for(architecture)
+        self.num_routers = num_routers
+
+    def dynamic_energy(self, activity: ActivityCounters) -> float:
+        p = self.profile
+        return (
+            activity.buffer_writes * p.buffer_write
+            + activity.buffer_reads * p.buffer_read
+            + activity.crossbar_traversals * p.crossbar_traversal
+            + activity.va_requests * p.va_request
+            + activity.sa_requests * p.sa_request
+            + activity.link_flits * p.link_flit
+            + activity.early_ejections * p.early_ejection
+        )
+
+    def leakage_energy(self, cycles: int) -> float:
+        return cycles * self.num_routers * self.profile.leakage_per_cycle
+
+    def report(
+        self, activity: ActivityCounters, cycles: int, delivered_packets: int
+    ) -> EnergyReport:
+        return EnergyReport(
+            dynamic=self.dynamic_energy(activity),
+            leakage=self.leakage_energy(cycles),
+            delivered_packets=delivered_packets,
+        )

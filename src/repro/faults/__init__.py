@@ -1,0 +1,29 @@
+"""Permanent-fault model, injection and hardware-recycling recovery."""
+
+from repro.faults.injector import ComponentFault, apply_faults, random_faults
+from repro.faults.model import (
+    CLASSIFICATION,
+    CRITICAL_FAULT_COMPONENTS,
+    NONCRITICAL_FAULT_COMPONENTS,
+    Centricity,
+    Component,
+    FaultClass,
+    Pathway,
+    Regime,
+)
+from repro.faults.recovery import is_recoverable, recovery_mechanism
+
+__all__ = [
+    "CLASSIFICATION",
+    "CRITICAL_FAULT_COMPONENTS",
+    "Centricity",
+    "Component",
+    "ComponentFault",
+    "FaultClass",
+    "NONCRITICAL_FAULT_COMPONENTS",
+    "Pathway",
+    "Regime",
+    "apply_faults",
+    "is_recoverable",
+    "random_faults",
+]

@@ -1,0 +1,105 @@
+"""Static permanent-fault injection (paper Section 5.4).
+
+Faults are injected before simulation starts ("we assumed permanent
+failures to be handled statically") at randomly chosen distinct routers.
+The *same* fault population is applied to every architecture under
+comparison; only the reaction differs:
+
+* generic / Path-Sensitive routers — any component fault takes the whole
+  node off-line (their operation is unified across components);
+* RoCo — critical/router-centric faults isolate one module; the rest are
+  absorbed by hardware recycling (double routing, virtual queuing, SA
+  offloading onto the VA arbiters).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.network import Network
+from repro.core.types import NodeId
+from repro.faults.model import (
+    CRITICAL_FAULT_COMPONENTS,
+    NONCRITICAL_FAULT_COMPONENTS,
+    Component,
+)
+from repro.routers.roco.path_set import COLUMN, ROW
+
+
+@dataclass(frozen=True)
+class ComponentFault:
+    """One permanent hardware fault.
+
+    ``module`` picks the Row- or Column-Module for architectures with
+    that granularity (others ignore it); ``vc_position`` selects the
+    affected buffer for BUFFER faults.
+    """
+
+    node: NodeId
+    component: Component
+    module: str = ROW
+    vc_position: int = 0
+
+
+def random_faults(
+    nodes: list[NodeId],
+    count: int,
+    rng: random.Random,
+    critical: bool,
+    exclude: set[NodeId] | None = None,
+) -> list[ComponentFault]:
+    """Draw ``count`` faults at distinct routers.
+
+    ``critical`` selects the Figure-11 population (router-centric /
+    critical pathway) versus the Figure-12 one (message-centric /
+    non-critical).
+    """
+    pool = [n for n in nodes if exclude is None or n not in exclude]
+    if count > len(pool):
+        raise ValueError(f"cannot place {count} faults on {len(pool)} routers")
+    components = (
+        CRITICAL_FAULT_COMPONENTS if critical else NONCRITICAL_FAULT_COMPONENTS
+    )
+    chosen = rng.sample(pool, count)
+    return [
+        ComponentFault(
+            node=node,
+            component=rng.choice(components),
+            module=rng.choice((ROW, COLUMN)),
+            vc_position=rng.randrange(6),
+        )
+        for node in chosen
+    ]
+
+
+def apply_faults(network: Network, faults: list[ComponentFault]) -> None:
+    """Imprint ``faults`` onto the network's routers.
+
+    Must run before :meth:`Network.wire` so the dead-port handshake state
+    the neighbours cache reflects the faults.
+    """
+    if not faults:
+        return
+    network.has_faults = True
+    for fault in faults:
+        router = network.routers[fault.node]
+        modules = getattr(router, "modules", None)
+        if modules is None:
+            # Generic / Path-Sensitive: unified operation, node off-line.
+            router.dead = True
+            continue
+        module = modules[fault.module]
+        if fault.component in (Component.VA, Component.CROSSBAR, Component.MUX_DEMUX):
+            module.dead = True
+        elif fault.component is Component.RC:
+            module.rc_faulty = True
+        elif fault.component is Component.SA:
+            module.sa_degraded = True
+        elif fault.component is Component.BUFFER:
+            vcs = module.all_vcs()
+            vc = vcs[fault.vc_position % len(vcs)]
+            vc.faulty = True
+            vc.shrink_for_fault()
+        else:  # pragma: no cover - exhaustive over Component
+            raise ValueError(f"unhandled component {fault.component}")

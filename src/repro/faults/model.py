@@ -1,0 +1,120 @@
+"""Router fault taxonomy (paper Section 4.1, Table 3).
+
+Components are classified along two axes:
+
+* **operational regime** — per-packet components (RC, VA) only touch
+  header flits; per-flit components (buffers, MUX/DEMUX, SA, crossbar)
+  touch every flit;
+* **centricity** — message-centric components (RC, buffers, MUX/DEMUX)
+  process one message with no cross-message state; router-centric
+  components (VA, SA, crossbar) need state from many pending messages;
+
+plus a pathway attribute: the datapath (MUX/DEMUX, buffers without a
+bypass, crossbar) is *critical*; the control logic (RC, VA, SA — and
+buffers once a bypass path exists) is *non-critical*.
+
+The recovery consequences (Section 4.1):
+
+=============  ==============================  =============================
+component      generic / Path-Sensitive        RoCo reaction
+=============  ==============================  =============================
+RC             node blocked                    double routing downstream
+BUFFER         node blocked                    virtual queuing (depth -> 1)
+VA             node blocked                    containing module blocked
+SA             node blocked                    offload onto idle VA arbiters
+CROSSBAR       node blocked                    containing module blocked
+MUX_DEMUX      node blocked                    containing module blocked
+=============  ==============================  =============================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Component(enum.Enum):
+    """The six major router components of Figure 1(a)."""
+
+    RC = "rc"
+    VA = "va"
+    SA = "sa"
+    BUFFER = "buffer"
+    CROSSBAR = "crossbar"
+    MUX_DEMUX = "mux_demux"
+
+
+class Regime(enum.Enum):
+    PER_PACKET = "per-packet"
+    PER_FLIT = "per-flit"
+
+
+class Centricity(enum.Enum):
+    MESSAGE = "message-centric"
+    ROUTER = "router-centric"
+
+
+class Pathway(enum.Enum):
+    CRITICAL = "critical"
+    NON_CRITICAL = "non-critical"
+
+
+@dataclass(frozen=True)
+class FaultClass:
+    """Table-3 classification of one component."""
+
+    component: Component
+    regime: Regime
+    centricity: Centricity
+    pathway: Pathway
+
+    @property
+    def blocks_roco_module(self) -> bool:
+        """Whether a RoCo router must isolate the containing module.
+
+        Critical-pathway faults cannot be bypassed; router-centric VA
+        faults cannot be offloaded (Section 4.1).  Everything else is
+        recovered by hardware recycling.
+        """
+        return self.pathway is Pathway.CRITICAL or self.component is Component.VA
+
+
+#: Table 3, assuming buffers have the bypass path (the configuration the
+#: paper evaluates — Virtual Queuing requires it).
+CLASSIFICATION: dict[Component, FaultClass] = {
+    Component.RC: FaultClass(
+        Component.RC, Regime.PER_PACKET, Centricity.MESSAGE, Pathway.NON_CRITICAL
+    ),
+    Component.VA: FaultClass(
+        Component.VA, Regime.PER_PACKET, Centricity.ROUTER, Pathway.NON_CRITICAL
+    ),
+    Component.SA: FaultClass(
+        Component.SA, Regime.PER_FLIT, Centricity.ROUTER, Pathway.NON_CRITICAL
+    ),
+    Component.BUFFER: FaultClass(
+        Component.BUFFER, Regime.PER_FLIT, Centricity.MESSAGE, Pathway.NON_CRITICAL
+    ),
+    Component.CROSSBAR: FaultClass(
+        Component.CROSSBAR, Regime.PER_FLIT, Centricity.ROUTER, Pathway.CRITICAL
+    ),
+    Component.MUX_DEMUX: FaultClass(
+        Component.MUX_DEMUX, Regime.PER_FLIT, Centricity.MESSAGE, Pathway.CRITICAL
+    ),
+}
+
+#: The fault population of Figure 11: router-centric and critical-pathway
+#: components — these block an entire generic/Path-Sensitive node and a
+#: whole RoCo module.
+CRITICAL_FAULT_COMPONENTS = (
+    Component.VA,
+    Component.CROSSBAR,
+    Component.MUX_DEMUX,
+)
+
+#: The fault population of Figure 12: message-centric / non-critical
+#: components — recovered in RoCo by hardware recycling.
+NONCRITICAL_FAULT_COMPONENTS = (
+    Component.RC,
+    Component.BUFFER,
+    Component.SA,
+)

@@ -1,0 +1,149 @@
+"""Experiment plumbing: scales, run points and seeded fault populations.
+
+Every figure runner is parameterised by an :class:`ExperimentScale` so
+the same code serves three purposes: fast CI benchmarks (``QUICK``),
+meaningful local reproduction (``STANDARD``), and the paper's own
+dimensions (``PAPER`` — 20,000 warm-up + 1,000,000 measured packets,
+which take correspondingly long on a pure-Python simulator).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import SimulationResult, run_simulation
+from repro.core.types import NodeId, RoutingMode
+from repro.faults.injector import ComponentFault, random_faults
+
+#: Router architectures in the order the paper's figures list them.
+ROUTERS = ("generic", "path_sensitive", "roco")
+
+#: Routing algorithms in figure order: (a) deterministic, (b) XY-YX,
+#: (c) adaptive.
+ROUTINGS = (RoutingMode.XY, RoutingMode.XY_YX, RoutingMode.ADAPTIVE)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs trading fidelity for wall-clock time."""
+
+    name: str
+    width: int = 8
+    height: int = 8
+    warmup_packets: int = 200
+    measure_packets: int = 1200
+    seeds: tuple[int, ...] = (1,)
+    #: Injection-rate grid for the latency sweeps (flits/node/cycle).
+    rates: tuple[float, ...] = (0.05, 0.15, 0.25, 0.30, 0.35)
+    #: Injection-rate grid for the contention sweeps (extends past
+    #: saturation, as in Figure 3).
+    contention_rates: tuple[float, ...] = (0.05, 0.20, 0.35, 0.50)
+    max_cycles: int = 60_000
+
+
+QUICK = ExperimentScale(
+    name="quick",
+    width=6,
+    height=6,
+    warmup_packets=80,
+    measure_packets=400,
+    seeds=(1,),
+    rates=(0.05, 0.20, 0.30),
+    contention_rates=(0.10, 0.30, 0.50),
+    max_cycles=30_000,
+)
+
+STANDARD = ExperimentScale(name="standard", seeds=(1, 2, 3))
+
+PAPER = ExperimentScale(
+    name="paper",
+    warmup_packets=20_000,
+    measure_packets=1_000_000,
+    seeds=(1,),
+    rates=(0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40),
+    contention_rates=(0.05, 0.15, 0.25, 0.35, 0.45, 0.55),
+    max_cycles=5_000_000,
+)
+
+SCALES = {s.name: s for s in (QUICK, STANDARD, PAPER)}
+
+
+def mesh_nodes(scale: ExperimentScale) -> list[NodeId]:
+    return [
+        NodeId(x, y) for y in range(scale.height) for x in range(scale.width)
+    ]
+
+
+def run_point(
+    router: str,
+    routing: RoutingMode | str,
+    traffic: str,
+    injection_rate: float,
+    scale: ExperimentScale,
+    seed: int = 1,
+    faults: list[ComponentFault] | None = None,
+) -> SimulationResult:
+    """Run one simulation at one operating point."""
+    config = SimulationConfig(
+        width=scale.width,
+        height=scale.height,
+        router=router,
+        routing=routing,
+        traffic=traffic,
+        injection_rate=injection_rate,
+        warmup_packets=scale.warmup_packets,
+        measure_packets=scale.measure_packets,
+        max_cycles=scale.max_cycles,
+        seed=seed,
+    )
+    return run_simulation(config, faults=faults)
+
+
+def averaged_point(
+    router: str,
+    routing: RoutingMode | str,
+    traffic: str,
+    injection_rate: float,
+    scale: ExperimentScale,
+    faults_per_seed: dict[int, list[ComponentFault]] | None = None,
+) -> dict:
+    """Average a run point over the scale's seeds.
+
+    Returns the seed-mean of the headline metrics; completion-weighted
+    where that matters (latency is averaged over delivered packets).
+    """
+    results = []
+    for seed in scale.seeds:
+        faults = faults_per_seed.get(seed) if faults_per_seed else None
+        results.append(
+            run_point(router, routing, traffic, injection_rate, scale, seed, faults)
+        )
+    n = len(results)
+    return {
+        "router": router,
+        "routing": str(routing),
+        "traffic": traffic,
+        "injection_rate": injection_rate,
+        "average_latency": sum(r.average_latency for r in results) / n,
+        "completion_probability": sum(r.completion_probability for r in results) / n,
+        "energy_per_packet_nj": sum(r.energy_per_packet_nj for r in results) / n,
+        "pef": sum(r.pef for r in results) / n,
+        "throughput": sum(r.throughput for r in results) / n,
+        "contention_row": sum(r.contention_row for r in results) / n,
+        "contention_column": sum(r.contention_column for r in results) / n,
+        "contention_overall": sum(r.contention_overall for r in results) / n,
+    }
+
+
+def fault_population(
+    scale: ExperimentScale, count: int, critical: bool, seed: int
+) -> list[ComponentFault]:
+    """Seeded random fault placement, identical across architectures.
+
+    The same (seed, count, class) always yields the same fault sites so
+    router comparisons see the same broken hardware.
+    """
+    rng = random.Random(10_000 + seed * 101 + count * 7 + (1 if critical else 0))
+    return random_faults(mesh_nodes(scale), count, rng, critical=critical)

@@ -1,0 +1,206 @@
+"""Per-figure reproduction runners — one entry point per paper artifact.
+
+Each function regenerates the data behind one table or figure of the
+paper's evaluation (Section 5) and returns it as plain dictionaries the
+benchmarks assert on and the report module renders.  The experiment
+index in DESIGN.md maps each function to its artifact.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.arbitration import figure2 as _figure2_inventory
+from repro.analysis.matching import table2 as _table2_analytic
+from repro.core.types import RoutingMode
+from repro.harness.experiment import (
+    ROUTERS,
+    ROUTINGS,
+    STANDARD,
+    ExperimentScale,
+    averaged_point,
+    fault_population,
+)
+from repro.routers.roco.path_set import table1_summary
+
+#: Operating point of the fault / energy experiments (Section 5.4:
+#: "The traffic injection rate in these faulty networks was 30%").
+FAULT_INJECTION_RATE = 0.30
+#: Fault counts swept in Figures 11, 12 and 14.
+FAULT_COUNTS = (1, 2, 4)
+#: Traffic patterns of Figure 13.
+ENERGY_TRAFFICS = ("uniform", "self_similar", "transpose")
+
+
+def table1() -> dict[str, dict[str, list[str]]]:
+    """Table 1 — RoCo VC buffer configuration per routing algorithm."""
+    return {
+        mode.value: table1_summary(mode)
+        for mode in (RoutingMode.ADAPTIVE, RoutingMode.XY_YX, RoutingMode.XY)
+    }
+
+
+def table2() -> dict[str, float]:
+    """Table 2 — non-blocking probabilities (analytic, N = 5)."""
+    return _table2_analytic()
+
+
+def figure2(v: int = 3) -> dict:
+    """Figure 2 — VA arbiter inventory comparison."""
+    return _figure2_inventory(v)
+
+
+def figure3(scale: ExperimentScale = STANDARD) -> dict:
+    """Figure 3 — contention probabilities vs offered load.
+
+    Panels (a)/(b): row/column input contention under XY routing;
+    panel (c): overall contention under adaptive routing.
+    """
+    panels: dict[str, dict[str, list[tuple[float, float]]]] = {
+        "row_xy": {},
+        "column_xy": {},
+        "adaptive": {},
+    }
+    for router in ROUTERS:
+        xy_curve, ad_curve = [], []
+        for rate in scale.contention_rates:
+            xy = averaged_point(router, RoutingMode.XY, "uniform", rate, scale)
+            ad = averaged_point(router, RoutingMode.ADAPTIVE, "uniform", rate, scale)
+            xy_curve.append((rate, xy["contention_row"], xy["contention_column"]))
+            ad_curve.append((rate, ad["contention_overall"]))
+        panels["row_xy"][router] = [(r, row) for r, row, _ in xy_curve]
+        panels["column_xy"][router] = [(r, col) for r, _, col in xy_curve]
+        panels["adaptive"][router] = ad_curve
+    return panels
+
+
+def latency_figure(
+    traffic: str, scale: ExperimentScale = STANDARD
+) -> dict[str, dict[str, list[tuple[float, float]]]]:
+    """Figures 8/9/10 — average latency vs injection rate.
+
+    Returns ``{routing: {router: [(rate, latency), ...]}}`` for the
+    requested traffic pattern (uniform -> Fig. 8, self-similar -> Fig. 9,
+    transpose -> Fig. 10).
+    """
+    out: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    for routing in ROUTINGS:
+        per_router: dict[str, list[tuple[float, float]]] = {}
+        for router in ROUTERS:
+            curve = []
+            for rate in scale.rates:
+                point = averaged_point(router, routing, traffic, rate, scale)
+                curve.append((rate, point["average_latency"]))
+            per_router[router] = curve
+        out[routing.value] = per_router
+    return out
+
+
+def figure8(scale: ExperimentScale = STANDARD) -> dict:
+    """Figure 8 — uniform random traffic latency curves."""
+    return latency_figure("uniform", scale)
+
+
+def figure9(scale: ExperimentScale = STANDARD) -> dict:
+    """Figure 9 — self-similar traffic latency curves."""
+    return latency_figure("self_similar", scale)
+
+
+def figure10(scale: ExperimentScale = STANDARD) -> dict:
+    """Figure 10 — transpose traffic latency curves."""
+    return latency_figure("transpose", scale)
+
+
+def fault_figure(
+    critical: bool, scale: ExperimentScale = STANDARD
+) -> dict[str, dict[str, dict[int, float]]]:
+    """Figures 11/12 — packet completion probability under faults.
+
+    ``critical`` selects the Figure-11 population (router-centric /
+    critical-pathway components) versus Figure-12's (message-centric /
+    non-critical).  Every architecture sees the same fault sites per
+    (seed, count).  Returns ``{routing: {router: {n_faults: completion}}}``.
+    """
+    out: dict[str, dict[str, dict[int, float]]] = {}
+    for routing in ROUTINGS:
+        per_router: dict[str, dict[int, float]] = {}
+        for router in ROUTERS:
+            per_count: dict[int, float] = {}
+            for count in FAULT_COUNTS:
+                faults_per_seed = {
+                    seed: fault_population(scale, count, critical, seed)
+                    for seed in scale.seeds
+                }
+                point = averaged_point(
+                    router,
+                    routing,
+                    "uniform",
+                    FAULT_INJECTION_RATE,
+                    scale,
+                    faults_per_seed=faults_per_seed,
+                )
+                per_count[count] = point["completion_probability"]
+            per_router[router] = per_count
+        out[routing.value] = per_router
+    return out
+
+
+def figure11(scale: ExperimentScale = STANDARD) -> dict:
+    """Figure 11 — completion under router-centric / critical faults."""
+    return fault_figure(critical=True, scale=scale)
+
+
+def figure12(scale: ExperimentScale = STANDARD) -> dict:
+    """Figure 12 — completion under message-centric / non-critical faults."""
+    return fault_figure(critical=False, scale=scale)
+
+
+def figure13(scale: ExperimentScale = STANDARD) -> dict[str, dict[str, float]]:
+    """Figure 13 — energy per packet (nJ) at 30% injection.
+
+    Returns ``{traffic: {router: energy_nJ}}``.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for traffic in ENERGY_TRAFFICS:
+        out[traffic] = {}
+        for router in ROUTERS:
+            point = averaged_point(
+                router, RoutingMode.XY, traffic, FAULT_INJECTION_RATE, scale
+            )
+            out[traffic][router] = point["energy_per_packet_nj"]
+    return out
+
+
+def figure14(
+    scale: ExperimentScale = STANDARD,
+) -> dict[str, dict[str, dict[int, dict[str, float]]]]:
+    """Figure 14 — PEF and average latency under faults.
+
+    Returns ``{fault_class: {router: {n_faults: {pef, latency,
+    completion, energy}}}}`` with fault classes ``critical`` and
+    ``non_critical`` (the figure's panels (a) and (b)).
+    """
+    out: dict[str, dict[str, dict[int, dict[str, float]]]] = {}
+    for label, critical in (("critical", True), ("non_critical", False)):
+        out[label] = {}
+        for router in ROUTERS:
+            per_count: dict[int, dict[str, float]] = {}
+            for count in FAULT_COUNTS:
+                faults_per_seed = {
+                    seed: fault_population(scale, count, critical, seed)
+                    for seed in scale.seeds
+                }
+                point = averaged_point(
+                    router,
+                    RoutingMode.ADAPTIVE,
+                    "uniform",
+                    FAULT_INJECTION_RATE,
+                    scale,
+                    faults_per_seed=faults_per_seed,
+                )
+                per_count[count] = {
+                    "pef": point["pef"],
+                    "latency": point["average_latency"],
+                    "completion": point["completion_probability"],
+                    "energy_nj": point["energy_per_packet_nj"],
+                }
+            out[label][router] = per_count
+    return out

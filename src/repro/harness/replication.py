@@ -1,0 +1,162 @@
+"""Replication statistics and saturation search.
+
+Simulation outputs are random variables; this module provides the two
+tools an evaluation needs to treat them honestly:
+
+* :func:`replicate` — run one configuration across seeds and report
+  mean / standard deviation / 95% confidence intervals per metric;
+* :func:`find_saturation_rate` — bisection search for the offered load
+  at which average latency crosses a multiple of the unloaded latency
+  (the standard operational definition of saturation throughput).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import run_simulation
+
+#: Two-sided 95% t-distribution critical values by degrees of freedom.
+#: (Enough entries for typical seed counts; falls back to the normal
+#: 1.96 beyond the table.)
+_T95 = {
+    1: 12.706,
+    2: 4.303,
+    3: 3.182,
+    4: 2.776,
+    5: 2.571,
+    6: 2.447,
+    7: 2.365,
+    8: 2.306,
+    9: 2.262,
+    10: 2.228,
+}
+
+#: Metrics summarised by replicate().
+REPLICATED_METRICS = (
+    "average_latency",
+    "throughput",
+    "completion_probability",
+    "energy_per_packet_nj",
+    "pef",
+)
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and spread of one metric over replications."""
+
+    name: str
+    samples: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(
+            sum((s - m) ** 2 for s in self.samples) / (len(self.samples) - 1)
+        )
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the 95% confidence interval of the mean."""
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        t = _T95.get(n - 1, 1.96)
+        return t * self.std / math.sqrt(n)
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.mean:.3f} +- {self.ci95:.3f} (n={len(self.samples)})"
+
+
+def replicate(
+    config: SimulationConfig, seeds: tuple[int, ...] = (1, 2, 3, 4, 5)
+) -> dict[str, MetricSummary]:
+    """Run ``config`` once per seed; summarise the headline metrics."""
+    if not seeds:
+        raise ValueError("replication needs at least one seed")
+    samples: dict[str, list[float]] = {m: [] for m in REPLICATED_METRICS}
+    for seed in seeds:
+        run_config = SimulationConfig(
+            **{**_config_kwargs(config), "seed": seed}
+        )
+        result = run_simulation(run_config)
+        for metric in REPLICATED_METRICS:
+            samples[metric].append(float(getattr(result, metric)))
+    return {
+        metric: MetricSummary(metric, tuple(values))
+        for metric, values in samples.items()
+    }
+
+
+def _config_kwargs(config: SimulationConfig) -> dict:
+    return {
+        "width": config.width,
+        "height": config.height,
+        "router": config.router,
+        "routing": config.routing,
+        "traffic": config.traffic,
+        "injection_rate": config.injection_rate,
+        "flits_per_packet": config.flits_per_packet,
+        "router_config": config.router_config,
+        "warmup_packets": config.warmup_packets,
+        "measure_packets": config.measure_packets,
+        "max_cycles": config.max_cycles,
+        "fault_drop_timeout": config.fault_drop_timeout,
+        "drain_timeout": config.drain_timeout,
+    }
+
+
+def find_saturation_rate(
+    router: str,
+    routing: str = "xy",
+    traffic: str = "uniform",
+    width: int = 8,
+    height: int = 8,
+    threshold_factor: float = 3.0,
+    tolerance: float = 0.02,
+    measure_packets: int = 700,
+    seed: int = 7,
+) -> float:
+    """Offered load where latency crosses ``threshold_factor`` x unloaded.
+
+    Bisection over injection rate; the unloaded reference is measured at
+    0.02 flits/node/cycle.  Returns the saturation estimate in
+    flits/node/cycle (resolution ``tolerance``).
+    """
+
+    def latency_at(rate: float) -> float:
+        config = SimulationConfig(
+            width=width,
+            height=height,
+            router=router,
+            routing=routing,
+            traffic=traffic,
+            injection_rate=rate,
+            warmup_packets=max(50, measure_packets // 6),
+            measure_packets=measure_packets,
+            max_cycles=80_000,
+            seed=seed,
+        )
+        return run_simulation(config).average_latency
+
+    base = latency_at(0.02)
+    threshold = threshold_factor * base
+    low, high = 0.05, 0.60
+    if latency_at(high) < threshold:
+        return high  # does not saturate within the searched range
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        if latency_at(mid) < threshold:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2

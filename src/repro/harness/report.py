@@ -1,0 +1,134 @@
+"""Plain-text rendering of reproduced tables and figures.
+
+The benchmarks call these to print paper-style rows next to their
+assertions, and ``examples/reproduce_paper.py`` uses them to emit a
+full report.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_curves(
+    curves: dict[str, list[tuple[float, float]]],
+    x_label: str = "rate",
+    y_label: str = "value",
+    title: str = "",
+) -> str:
+    """Render ``{series: [(x, y), ...]}`` as one table, series as columns."""
+    series = list(curves)
+    xs = [x for x, _ in curves[series[0]]]
+    headers = [x_label] + series
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([f"{x:.2f}"] + [f"{curves[s][i][1]:.2f}" for s in series])
+    return render_table(headers, rows, title=title)
+
+
+def render_latency_figure(data: dict, figure_name: str, traffic: str) -> str:
+    """Render a Figure 8/9/10 style result (latency vs rate per routing)."""
+    blocks = [f"== {figure_name}: average latency (cycles), {traffic} traffic =="]
+    for routing, curves in data.items():
+        blocks.append(
+            render_curves(
+                curves,
+                x_label="inj rate",
+                title=f"-- {routing} routing --",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_fault_figure(data: dict, figure_name: str) -> str:
+    """Render a Figure 11/12 style result (completion vs fault count)."""
+    blocks = [f"== {figure_name}: packet completion probability =="]
+    for routing, per_router in data.items():
+        counts = sorted(next(iter(per_router.values())))
+        headers = ["#faults"] + list(per_router)
+        rows = [
+            [str(c)] + [f"{per_router[r][c]:.3f}" for r in per_router]
+            for c in counts
+        ]
+        blocks.append(render_table(headers, rows, title=f"-- {routing} routing --"))
+    return "\n\n".join(blocks)
+
+
+def render_figure13(data: dict) -> str:
+    headers = ["traffic"] + list(next(iter(data.values())))
+    rows = [
+        [traffic] + [f"{per_router[r]:.3f}" for r in per_router]
+        for traffic, per_router in data.items()
+    ]
+    return render_table(
+        headers, rows, title="== Figure 13: energy per packet (nJ), 30% injection =="
+    )
+
+
+def render_figure14(data: dict) -> str:
+    blocks = ["== Figure 14: PEF (nJ x cycles / probability) =="]
+    for label, per_router in data.items():
+        counts = sorted(next(iter(per_router.values())))
+        headers = ["#faults"] + [
+            f"{r} pef|lat" for r in per_router
+        ]
+        rows = []
+        for c in counts:
+            row = [str(c)]
+            for r in per_router:
+                cell = per_router[r][c]
+                row.append(f"{cell['pef']:.1f}|{cell['latency']:.1f}")
+            rows.append(row)
+        blocks.append(render_table(headers, rows, title=f"-- {label} faults --"))
+    return "\n\n".join(blocks)
+
+
+def render_table1(data: dict) -> str:
+    headers = ["routing", "Row P1", "Row P2", "Col P1", "Col P2"]
+    rows = []
+    for routing, summary in data.items():
+        rows.append(
+            [
+                routing,
+                " ".join(summary["row_port1"]),
+                " ".join(summary["row_port2"]),
+                " ".join(summary["column_port1"]),
+                " ".join(summary["column_port2"]),
+            ]
+        )
+    return render_table(headers, rows, title="== Table 1: VC buffer configuration ==")
+
+
+def render_table2(data: dict) -> str:
+    rows = [[name, f"{p:.3f}"] for name, p in data.items()]
+    return render_table(
+        ["router", "non-blocking p"],
+        rows,
+        title="== Table 2: non-blocking probabilities ==",
+    )

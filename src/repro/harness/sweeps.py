@@ -1,0 +1,107 @@
+"""Parameter sweeps: run cartesian grids of configurations.
+
+A :class:`Sweep` expands axes (router, routing, traffic, rate, seed,
+mesh size, ...) into configurations, runs them, and returns the results
+as records ready for :mod:`repro.harness.export` or ad-hoc analysis.
+This is the workhorse behind custom studies that the fixed per-figure
+runners do not cover.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import SimulationResult, run_simulation
+from repro.harness.export import result_record
+
+#: Axis names accepted by Sweep, mapping to SimulationConfig fields.
+AXIS_FIELDS = {
+    "router": "router",
+    "routing": "routing",
+    "traffic": "traffic",
+    "injection_rate": "injection_rate",
+    "seed": "seed",
+    "width": "width",
+    "height": "height",
+    "flits_per_packet": "flits_per_packet",
+}
+
+
+@dataclass
+class Sweep:
+    """A cartesian sweep over simulation parameters.
+
+    ``axes`` maps axis names (see :data:`AXIS_FIELDS`) to the values to
+    sweep; ``base`` carries everything held constant.  Example::
+
+        sweep = Sweep(
+            axes={"router": ["generic", "roco"],
+                  "injection_rate": [0.1, 0.2, 0.3]},
+            base={"width": 8, "height": 8, "measure_packets": 800},
+        )
+        records = sweep.run()
+    """
+
+    axes: dict[str, list]
+    base: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.axes) - set(AXIS_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown sweep axes: {sorted(unknown)}")
+        if not self.axes:
+            raise ValueError("a sweep needs at least one axis")
+
+    @property
+    def size(self) -> int:
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+    def configurations(self) -> Iterable[SimulationConfig]:
+        """Yield every configuration of the grid, in axis order."""
+        names = list(self.axes)
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            params = dict(self.base)
+            params.update(dict(zip(names, combo)))
+            yield SimulationConfig(**params)
+
+    def run(
+        self,
+        progress: Callable[[int, int, SimulationResult], None] | None = None,
+    ) -> list[dict]:
+        """Run the grid; returns one flat record per configuration.
+
+        ``progress(done, total, result)`` is called after each run —
+        hook it to print status or stream results to disk.
+        """
+        records = []
+        total = self.size
+        for index, config in enumerate(self.configurations(), start=1):
+            result = run_simulation(config)
+            records.append(result_record(result))
+            if progress is not None:
+                progress(index, total, result)
+        return records
+
+
+def pivot(
+    records: list[dict], row: str, column: str, value: str
+) -> dict[object, dict[object, float]]:
+    """Arrange flat sweep records as ``{row: {column: value}}``.
+
+    Multiple records landing in one cell are averaged (e.g. seeds).
+    """
+    cells: dict[object, dict[object, list[float]]] = {}
+    for record in records:
+        cells.setdefault(record[row], {}).setdefault(record[column], []).append(
+            record[value]
+        )
+    return {
+        r: {c: sum(vals) / len(vals) for c, vals in cols.items()}
+        for r, cols in cells.items()
+    }

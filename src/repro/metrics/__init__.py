@@ -1,0 +1,18 @@
+"""Evaluation metrics: latency summaries, EDP/PDP and the PEF metric."""
+
+from repro.metrics.latency import LatencySummary, percentile
+from repro.metrics.pef import (
+    PEFBreakdown,
+    energy_delay_product,
+    pef,
+    power_delay_product,
+)
+
+__all__ = [
+    "LatencySummary",
+    "PEFBreakdown",
+    "energy_delay_product",
+    "pef",
+    "percentile",
+    "power_delay_product",
+]

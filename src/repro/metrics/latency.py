@@ -1,0 +1,49 @@
+"""Latency statistics helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of per-packet end-to-end latencies."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: int
+
+    @classmethod
+    def from_samples(cls, samples: list[int]) -> "LatencySummary":
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0)
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(ordered, 0.50),
+            p95=percentile(ordered, 0.95),
+            p99=percentile(ordered, 0.99),
+            maximum=ordered[-1],
+        )
+
+
+def percentile(ordered: list[int], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    pos = q * (len(ordered) - 1)
+    lower = math.floor(pos)
+    upper = math.ceil(pos)
+    if lower == upper:
+        return float(ordered[lower])
+    frac = pos - lower
+    value = ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+    # Interpolation rounding must never escape the sample bounds.
+    return min(max(value, ordered[lower]), ordered[upper])

@@ -1,0 +1,450 @@
+"""Shared wormhole-router machinery.
+
+All three architectures (generic, Path-Sensitive, RoCo) are two-stage
+pipelined wormhole routers with credit-based virtual-channel flow control.
+This module owns everything they share:
+
+* look-ahead VC allocation against the downstream router's exposed VCs,
+* switch-grant commitment (credit reservation) and flit launch,
+* the shared switch-traversal phase with stale-grant revalidation,
+* packet dropping and worm purging in faulty networks,
+* the stall-timeout machinery the fault model uses.
+
+Subclasses define their own buffer organisation and implement the
+``allocate`` pipeline phase (RC + VA + speculative SA); traversal is
+identical across architectures and lives here.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.core.buffer import VirtualChannel
+from repro.core.channel import Channel
+from repro.core.types import (
+    CARDINALS,
+    Direction,
+    Flit,
+    NodeId,
+    Packet,
+    is_worm_tail,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.network import Network
+
+
+class _EjectSentinel:
+    """Marker for the early-ejection 'virtual channel' (paper Section 3.1).
+
+    A worm allocated to EJECT is consumed by the destination PE on arrival
+    — no buffering, no switch allocation, no switch traversal there.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<EJECT>"
+
+
+#: Singleton early-ejection target.
+EJECT = _EjectSentinel()
+
+
+class OutputPort:
+    """Upstream-side handle for one output direction of a router."""
+
+    __slots__ = ("direction", "link", "downstream", "input_dir", "dead")
+
+    def __init__(self, direction: Direction) -> None:
+        self.direction = direction
+        self.link: Channel[Flit] = Channel()
+        self.downstream: "BaseRouter | None" = None
+        #: The downstream input this port feeds (``direction.opposite``).
+        self.input_dir = direction.opposite
+        #: True when the downstream input no longer accepts traffic
+        #: (downstream router or module permanently failed).
+        self.dead = False
+
+
+class BaseRouter(abc.ABC):
+    """Abstract two-stage wormhole router."""
+
+    #: Architecture tag used by configuration and the energy profiles.
+    architecture = "base"
+
+    def __init__(self, node: NodeId, network: "Network") -> None:
+        self.node = node
+        self.network = network
+        self.config = network.config.router_config
+        self.routing = network.routing
+        #: Output ports for the cardinals wired to neighbours that exist;
+        #: border directions are simply absent.
+        self.outputs: dict[Direction, OutputPort] = {}
+        for d in CARDINALS:
+            if network.neighbor_of(node, d) is not None:
+                self.outputs[d] = OutputPort(d)
+        #: Whole-router kill switch (generic/Path-Sensitive under any
+        #: permanent fault; RoCo only loses a module, see subclass).
+        self.dead = False
+        #: Stall start cycles keyed by VC object id, for fault timeouts.
+        self._stall_since: dict[int, int] = {}
+        #: SA winners computed during allocate(), consumed by the next
+        #: cycle's traverse(): (vc, out_dir, out_vc) at grant time.
+        self._sa_winners: list[tuple[VirtualChannel, Direction, object]] = []
+
+    # ------------------------------------------------------------------
+    # Structure exposed to neighbours
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def vc_candidates(
+        self, input_dir: Direction, packet: Packet, escape_only: bool = False
+    ) -> list[tuple[object, Direction | None]]:
+        """Admission options for a head flit arriving on ``input_dir``.
+
+        Returns ``(target, route_here)`` pairs where ``target`` is either
+        a :class:`VirtualChannel` of this router or :data:`EJECT` (early
+        ejection, paired with ``Direction.LOCAL``).  ``route_here`` is the
+        committed look-ahead route at this router, or None for
+        architectures that compute routes locally on arrival.
+        ``escape_only`` restricts options to the deadlock-free escape
+        subnetwork.
+        """
+
+    def accepting(self, input_dir: Direction) -> bool:
+        """Whether this input still accepts traffic (fault handshake)."""
+        return not self.dead
+
+    def accepting_any_injection(self) -> bool:
+        """Whether the local PE can still source packets at all."""
+        return not self.dead
+
+    def wire(self) -> None:
+        """Attach output ports to neighbours; called once after faults."""
+        for d, port in self.outputs.items():
+            neighbor_node = self.network.neighbor_of(self.node, d)
+            neighbor = self.network.router_at(neighbor_node)
+            port.downstream = neighbor
+            port.dead = not neighbor.accepting(d.opposite)
+
+    # ------------------------------------------------------------------
+    # Pipeline phases (called by the network each cycle)
+    # ------------------------------------------------------------------
+
+    def deliver_incoming(self, cycle: int) -> None:
+        """Phase 1: accept flits that finished link traversal."""
+        for d in CARDINALS:
+            neighbor_node = self.network.neighbor_of(self.node, d)
+            if neighbor_node is None:
+                continue
+            up_port = self.network.router_at(neighbor_node).outputs.get(d.opposite)
+            if up_port is None:
+                continue
+            for flit in up_port.link.deliver(cycle):
+                self._accept_flit(flit, d, cycle)
+
+    def _accept_flit(self, flit: Flit, input_dir: Direction, cycle: int) -> None:
+        """Buffer (or early-eject / discard) one arriving flit."""
+        packet = flit.packet
+        target = flit.vc_hint
+        if packet.dropped_cycle is not None:
+            # The worm was aborted while this flit was on the wire; the
+            # slot reserved at launch must be handed back.
+            if isinstance(target, VirtualChannel):
+                target.refund_slot()
+                target.expected -= 1
+            return
+        flit.route = flit.lookahead_route
+        flit.lookahead_route = None
+        if target is EJECT:
+            self.network.eject(flit, self.node, cycle, early=True)
+            return
+        target.push(flit)
+        target.expected -= 1
+        flit.arrival = cycle
+        if self.network.trace is not None:
+            from repro.instrumentation.trace import EventKind
+
+            self.network.trace.record(
+                cycle, EventKind.BUFFER, flit, self.node,
+                f"vc {target.vc_class or target.port}:{target.index}",
+            )
+        if flit.is_head:
+            target.active_pid = packet.pid
+        if target.faulty:
+            # Virtual Queuing handshake penalty (buffer-fault recovery).
+            target.hold_until = max(target.hold_until, cycle + 2)
+        self.network.stats.activity.buffer_writes += 1
+
+    @abc.abstractmethod
+    def allocate(self, cycle: int) -> None:
+        """Phase 3: route computation, VC allocation and switch allocation."""
+
+    def traverse(self, cycle: int) -> None:
+        """Phase 2: move last cycle's SA winners through the crossbar.
+
+        Each grant is revalidated because a worm may have been purged
+        (fault drop) between grant and traversal; a stale grant refunds
+        the slot reserved at grant time.
+        """
+        winners, self._sa_winners = self._sa_winners, []
+        for vc, out_dir, out_vc in winners:
+            if vc.empty or vc.out_dir is not out_dir or vc.out_vc is not out_vc:
+                if isinstance(out_vc, VirtualChannel):
+                    out_vc.refund_slot()
+                    out_vc.expected -= 1
+                continue
+            self._launch(vc, out_dir, cycle)
+
+    # ------------------------------------------------------------------
+    # Shared allocation helpers
+    # ------------------------------------------------------------------
+
+    def _request_vc_allocation(
+        self,
+        vc: VirtualChannel,
+        out_dir: Direction,
+        flit: Flit,
+        requests: list,
+        escape_only: bool = False,
+    ) -> bool:
+        """Stage a VC-allocation request for the worm draining ``vc``.
+
+        Picks the preferred free downstream VC among the candidates the
+        downstream router admits (the emptiest — the congestion signal of
+        adaptive selection) and appends a pending request.  Competing
+        requests for the same downstream VC are resolved once per cycle
+        by :meth:`_resolve_vc_allocations` — the single-iteration
+        separable VA of a real router, where losers must re-arbitrate
+        next cycle.  Early-ejection and local-ejection targets are
+        granted immediately (the PE sink is conflict-free).
+
+        Returns True when a request was staged or granted, False when
+        every admitting VC is currently owned by another worm (retry
+        next cycle), and None when the path is *hard*-blocked — the
+        output port is dead or the downstream router admits no VC for
+        this packet at all.  Only hard blocks count towards the
+        fault-drop timeout: congestion behind a live resource always
+        drains eventually.
+        """
+        self.network.stats.activity.va_requests += 1
+        if out_dir is Direction.LOCAL:
+            # Local ejection needs no downstream VC: the PE always sinks.
+            vc.out_vc = EJECT
+            vc.assign_route(out_dir)
+            return True
+        port = self.outputs.get(out_dir)
+        if port is None or port.dead:
+            return None
+        packet = flit.packet
+        candidates = port.downstream.vc_candidates(
+            port.input_dir, packet, escape_only=escape_only
+        )
+        if not candidates:
+            return None
+        staged = {id(req[3]) for req in requests}
+        best: tuple[object, Direction | None] | None = None
+        best_key = (-1, -1)
+        for target, route in candidates:
+            if target is EJECT:
+                best = (target, route)
+                break
+            if target.owner_pid is not None:
+                continue
+            # Prefer un-contested targets, then the emptiest (the
+            # congestion signal of adaptive selection); spreading over
+            # equally-good VCs is what rotating input-stage arbiters do
+            # in hardware.
+            key = (0 if id(target) in staged else 1, target.credits(self.network.cycle))
+            if key > best_key:
+                best, best_key = (target, route), key
+        if best is None:
+            return False
+        target, route = best
+        if target is EJECT:
+            vc.out_vc = EJECT
+            vc.assign_route(out_dir)
+            flit.lookahead_route = route
+            return True
+        requests.append((vc, out_dir, flit, target, route))
+        return True
+
+    #: VA arbitration iterations completed per cycle.  RoCo's 2v:1
+    #: arbiters are small enough to re-arbitrate losers within the cycle
+    #: (Figure 2); the generic router's 5v:1 arbiters are not — the
+    #: "multiple iterative arbitrations" cost of Section 3.1.
+    va_iterations = 1
+
+    def _resolve_vc_allocations(self, requests: list, cycle: int) -> None:
+        """Grant one winner per contended downstream VC (output-side VA).
+
+        The rotation offset plays the role of the output arbiters'
+        round-robin priority so persistent requesters are served fairly.
+        Losing requests re-arbitrate against the remaining free VCs for
+        as many iterations as the router's arbiters complete per cycle.
+        """
+        for _ in range(self.va_iterations):
+            if not requests:
+                return
+            losers = self._resolve_va_iteration(requests, cycle)
+            requests = []
+            for vc, out_dir, flit in losers:
+                self._request_vc_allocation(vc, out_dir, flit, requests)
+
+    def _resolve_va_iteration(
+        self, requests: list, cycle: int
+    ) -> list[tuple[VirtualChannel, Direction, Flit]]:
+        groups: dict[int, list] = {}
+        for request in requests:
+            groups.setdefault(id(request[3]), []).append(request)
+        losers: list[tuple[VirtualChannel, Direction, Flit]] = []
+        for group in groups.values():
+            pick = cycle % len(group)
+            for i, (vc, out_dir, flit, target, route) in enumerate(group):
+                if i == pick:
+                    target.claim(flit.packet.pid)
+                    vc.out_vc = target
+                    vc.assign_route(out_dir)
+                    flit.lookahead_route = route
+                    self.clear_stall(vc)
+                else:
+                    losers.append((vc, out_dir, flit))
+        return losers
+
+    def _vc_ready_for_switch(self, vc: VirtualChannel, cycle: int) -> bool:
+        """Whether ``vc``'s front flit can compete for the crossbar now."""
+        if vc.empty or not vc.allocated or vc.hold_until > cycle:
+            return False
+        target = vc.out_vc
+        if target is EJECT and vc.out_dir is Direction.LOCAL:
+            return True
+        port = self.outputs.get(vc.out_dir)
+        if port is None or port.dead:
+            return False
+        if target is EJECT:
+            return True
+        return target.credits(cycle) > 0
+
+    def _commit_switch_grant(self, vc: VirtualChannel, cycle: int) -> None:
+        """Reserve the downstream slot for a flit that won SA this cycle."""
+        if isinstance(vc.out_vc, VirtualChannel):
+            vc.out_vc.reserve_slot(cycle)
+            vc.out_vc.expected += 1
+        self._sa_winners.append((vc, vc.out_dir, vc.out_vc))
+        self.clear_stall(vc)
+
+    def _tally_contention(self, ready_vcs=None) -> None:
+        """Figure-3 bookkeeping, shared across architectures.
+
+        Every buffered worm with a committed output direction is a
+        standing request on that crossbar output; a request *contends*
+        when at least one other worm wants the same output this cycle.
+        Requests are classified by the output's dimension (row =
+        East/West); local ejection is not a crossbar contention point.
+        """
+        per_output: dict[Direction, int] = {}
+        for vc in self.all_vcs():
+            if vc.empty:
+                continue
+            if vc.out_dir is not None and vc.out_dir is not Direction.LOCAL:
+                per_output[vc.out_dir] = per_output.get(vc.out_dir, 0) + 1
+        contention = self.network.stats.contention
+        for out_dir, n in per_output.items():
+            contended = n if n > 1 else 0
+            if out_dir.is_row:
+                contention.row_requests += n
+                contention.row_contended += contended
+            else:
+                contention.column_requests += n
+                contention.column_contended += contended
+
+    # ------------------------------------------------------------------
+    # Switch traversal helpers
+    # ------------------------------------------------------------------
+
+    def _launch(self, vc: VirtualChannel, out_dir: Direction, cycle: int) -> None:
+        """Move the front flit of ``vc`` through the crossbar and out."""
+        target = vc.out_vc
+        flit = vc.pop(cycle)
+        stats = self.network.stats.activity
+        stats.buffer_reads += 1
+        stats.crossbar_traversals += 1
+        if out_dir is Direction.LOCAL:
+            self.network.eject(flit, self.node, cycle, early=False)
+            return
+        flit.vc_hint = target
+        if self.network.trace is not None:
+            from repro.instrumentation.trace import EventKind
+
+            self.network.trace.record(
+                cycle, EventKind.TRAVERSE, flit, self.node, f"-> {out_dir.name}"
+            )
+        self.outputs[out_dir].link.send(flit, cycle)
+        stats.link_flits += 1
+        if isinstance(target, VirtualChannel) and is_worm_tail(flit):
+            target.release_owner()
+
+    # ------------------------------------------------------------------
+    # Fault support
+    # ------------------------------------------------------------------
+
+    def note_stall(self, vc: VirtualChannel, cycle: int) -> None:
+        """Track a blocked head flit; drop its packet past the timeout.
+
+        Only active in faulty networks — a fault-free run never discards
+        traffic (Section 5.4 termination rules).
+        """
+        if not self.network.has_faults:
+            return
+        key = id(vc)
+        start = self._stall_since.setdefault(key, cycle)
+        if cycle - start >= self.network.config.fault_drop_timeout:
+            front = vc.front
+            if front is not None:
+                self.network.drop_packet(front.packet, cycle)
+            self._stall_since.pop(key, None)
+
+    def clear_stall(self, vc: VirtualChannel) -> None:
+        self._stall_since.pop(id(vc), None)
+
+    def purge_packet(self, pid: int, cycle: int) -> None:
+        """Remove every flit of a dropped packet held in this router."""
+        for vc in self.all_vcs():
+            if vc.owner_pid == pid:
+                vc.release_owner()
+            if vc.active_pid != pid and not any(
+                f.packet.pid == pid for f in vc.queue
+            ):
+                continue
+            kept = [f for f in vc.queue if f.packet.pid != pid]
+            removed = len(vc.queue) - len(kept)
+            vc.queue.clear()
+            vc.queue.extend(kept)
+            for _ in range(removed):
+                vc.schedule_release(cycle)
+            if vc.active_pid == pid:
+                vc.out_dir = None
+                vc.out_vc = None
+                vc.active_pid = None
+
+    @abc.abstractmethod
+    def all_vcs(self) -> list[VirtualChannel]:
+        """Every VC buffer in the router (fault injection / purging)."""
+
+    # ------------------------------------------------------------------
+    # Shared small utilities
+    # ------------------------------------------------------------------
+
+    def _discard_dropped_front(self, vc: VirtualChannel, cycle: int) -> None:
+        """Flush flits whose packet was dropped while queued here."""
+        while vc.front is not None and vc.front.packet.dropped_cycle is not None:
+            vc.pop(cycle)
+
+    def _output_alive(self, d: Direction) -> bool:
+        if d is Direction.LOCAL:
+            return True
+        port = self.outputs.get(d)
+        return port is not None and not port.dead
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.node})"

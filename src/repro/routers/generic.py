@@ -1,0 +1,235 @@
+"""The generic 2-stage virtual-channel router (paper Figure 1(a)).
+
+Five physical ports (N, E, S, W, PE), each with ``v`` VCs, a monolithic
+5x5 crossbar, a separable VA and a two-stage SA (a v:1 arbiter per input
+port followed by a 5:1 arbiter per output port).  Every flit — including
+flits ejecting to the local PE — takes switch allocation and switch
+traversal, which is exactly the 2-cycle cost RoCo's early ejection saves.
+
+Adaptive routing uses VC 0 of every port as the Duato escape channel:
+a worm occupying VC 0 routes dimension-ordered (XY) from that node.
+"""
+
+from __future__ import annotations
+
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.core.buffer import VirtualChannel
+from repro.core.types import Direction, NodeId, Packet, RoutingMode
+from repro.routers.base import BaseRouter
+
+#: Port order of the generic router: the four cardinals plus the PE port.
+GENERIC_PORTS = (
+    Direction.NORTH,
+    Direction.EAST,
+    Direction.SOUTH,
+    Direction.WEST,
+    Direction.LOCAL,
+)
+
+
+class GenericRouter(BaseRouter):
+    """Baseline 5-port wormhole router with a full crossbar."""
+
+    architecture = "generic"
+
+    def __init__(self, node: NodeId, network) -> None:
+        super().__init__(node, network)
+        v = self.config.vcs_per_port
+        depth = self.config.buffer_depth
+        self.ports: dict[Direction, list[VirtualChannel]] = {}
+        for d in GENERIC_PORTS:
+            vcs = []
+            for i in range(v):
+                vc = VirtualChannel(port=int(d), index=i, depth=depth)
+                vc.input_dir = d
+                vc.accepts_from = (d,)
+                vc.escape = i == 0
+                vcs.append(vc)
+            self.ports[d] = vcs
+        #: SA stage 1: one v:1 arbiter per input port.
+        self._sa_stage1 = {d: RoundRobinArbiter(v) for d in GENERIC_PORTS}
+        #: SA stage 2: one 5:1 arbiter per output port.
+        self._sa_stage2 = {
+            d: RoundRobinArbiter(len(GENERIC_PORTS)) for d in GENERIC_PORTS
+        }
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def all_vcs(self) -> list[VirtualChannel]:
+        return [vc for d in GENERIC_PORTS for vc in self.ports[d]]
+
+    def vc_candidates(
+        self, input_dir: Direction, packet: Packet, escape_only: bool = False
+    ) -> list[tuple[object, Direction | None]]:
+        """All VCs of the facing input port; routes are computed locally.
+
+        On a torus, the admitting VCs are restricted by the Dally-Seitz
+        dateline class of the ring the flit travels: VCs 0 and 2 before
+        the packet crosses the dimension's wrap edge, VC 1 after.  The
+        class partition is strict — sharing a VC between the classes
+        would re-close the ring's channel-dependency cycle.
+        """
+        if self.dead:
+            return []
+        vcs = self.ports[input_dir]
+        if escape_only:
+            return [(vcs[0], None)]
+        if (
+            self.network.topology.name == "torus"
+            and input_dir is not Direction.LOCAL
+        ):
+            if self._ring_class(input_dir, packet):
+                return [(vcs[1], None)]
+            return [(vcs[0], None), (vcs[2], None)]
+        return [(vc, None) for vc in vcs]
+
+    def _ring_class(self, input_dir: Direction, packet: Packet) -> int:
+        """Dateline class of the channel feeding ``input_dir`` here."""
+        from repro.core.topology import torus_ring_class
+
+        if input_dir.is_row:
+            return torus_ring_class(
+                packet.src.x, self.node.x, packet.dest.x, self.network.config.width
+            )
+        return torus_ring_class(
+            packet.src.y, self.node.y, packet.dest.y, self.network.config.height
+        )
+
+    # ------------------------------------------------------------------
+    # Injection interface (used by the traffic source)
+    # ------------------------------------------------------------------
+
+    def injection_vc_for(self, packet: Packet):
+        """A free local-port VC able to accept a new packet's head flit.
+
+        Returns ``(vc, route)``; the route is None because the generic
+        router computes routes locally (no look-ahead commitment).
+        """
+        if self.dead:
+            return None
+        for vc in self.ports[Direction.LOCAL]:
+            if vc.injectable(self.network.cycle):
+                return vc, None
+        return None
+
+    def injection_possible(self, packet: Packet) -> bool:
+        """Whether this packet could ever be injected here (fault view)."""
+        return not self.dead
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+
+    def allocate(self, cycle: int) -> None:
+        if self.dead:
+            return
+        stats = self.network.stats
+        # RC + VA (in parallel with SA in stage 1; speculation is modelled
+        # by letting a worm that allocates this cycle also compete for the
+        # switch this cycle).  Requests for the same downstream VC are
+        # resolved by the output-side arbiters, one winner per cycle.
+        va_requests: list = []
+        newly_allocated: set[int] = set()
+        for d in GENERIC_PORTS:
+            for vc in self.ports[d]:
+                if self.network.has_faults:
+                    self._discard_dropped_front(vc, cycle)
+                front = vc.front
+                if front is None or not front.is_head:
+                    continue
+                if vc.active_pid is None:
+                    vc.active_pid = front.packet.pid
+                if not vc.allocated:
+                    if front.arrival >= cycle:
+                        # Without look-ahead routing the head spends this
+                        # cycle in Routing Computation (Section 3.1: RoCo
+                        # and Path-Sensitive pre-compute the route one
+                        # step ahead and skip this stage).
+                        continue
+                    self._route_and_request(vc, va_requests, cycle)
+                    newly_allocated.add(id(vc))
+        self._resolve_vc_allocations(va_requests, cycle)
+
+        # SA stage 1: each input port nominates one ready VC.  Worms
+        # whose VA succeeded only this cycle are *speculative* SA
+        # requesters and, per the Peh-Dally priority rule the generic
+        # router implements, lose to any non-speculative request — both
+        # within a port and at the output arbiters.  This speculation
+        # failure under load is the pipeline-stall contention cost the
+        # paper charges the generic design with.
+        nominees: dict[Direction, VirtualChannel] = {}
+        speculative: dict[Direction, bool] = {}
+        ready_vcs: list[VirtualChannel] = []
+        for d in GENERIC_PORTS:
+            vcs = self.ports[d]
+            ready = [self._vc_ready_for_switch(vc, cycle) for vc in vcs]
+            ready_vcs.extend(vc for vc, r in zip(vcs, ready) if r)
+            requests = sum(ready)
+            if not requests:
+                continue
+            stats.activity.sa_requests += requests
+            non_spec = [
+                r and id(vc) not in newly_allocated for r, vc in zip(ready, vcs)
+            ]
+            if any(non_spec):
+                winner = self._sa_stage1[d].grant(non_spec)
+                speculative[d] = False
+            else:
+                winner = self._sa_stage1[d].grant(ready)
+                speculative[d] = True
+            nominees[d] = vcs[winner]
+
+        # SA stage 2: each output port arbitrates among nominating inputs,
+        # non-speculative requests first.
+        self._tally_contention(ready_vcs)
+        requests_per_output: dict[Direction, list[Direction]] = {}
+        for d, vc in nominees.items():
+            requests_per_output.setdefault(vc.out_dir, []).append(d)
+        for out_dir, requesters in requests_per_output.items():
+            non_spec_req = [r for r in requesters if not speculative[r]]
+            pool = non_spec_req if non_spec_req else requesters
+            lines = [p in pool for p in GENERIC_PORTS]
+            winner = self._sa_stage2[out_dir].grant(lines)
+            if winner is not None:
+                self._commit_switch_grant(nominees[GENERIC_PORTS[winner]], cycle)
+
+    def _route_and_request(
+        self, vc: VirtualChannel, va_requests: list, cycle: int
+    ) -> None:
+        front = vc.front
+        packet = front.packet
+        if vc.escape and self.routing.mode is RoutingMode.ADAPTIVE:
+            candidates = (self.routing.escape_direction(self.node, packet),)
+        else:
+            candidates = self.routing.candidates(self.node, packet)
+        all_hard = True
+        for out_dir in self._order_by_congestion(candidates, cycle):
+            outcome = self._request_vc_allocation(vc, out_dir, front, va_requests)
+            if outcome:
+                return
+            if outcome is False:
+                all_hard = False
+        if all_hard:
+            self.note_stall(vc, cycle)
+        else:
+            self.clear_stall(vc)
+
+    def _order_by_congestion(
+        self, candidates: tuple[Direction, ...], cycle: int
+    ) -> tuple[Direction, ...]:
+        """Adaptive selection: prefer the output with the most free credits."""
+        if len(candidates) <= 1:
+            return candidates
+        live = [d for d in candidates if self._output_alive(d)]
+        if not live:
+            return candidates
+        return tuple(sorted(live, key=lambda d: -self._free_credits(d, cycle)))
+
+    def _free_credits(self, d: Direction, cycle: int) -> int:
+        port = self.outputs.get(d)
+        if port is None:
+            return 0
+        vcs = port.downstream.ports[port.input_dir]  # type: ignore[attr-defined]
+        return sum(vc.credits(cycle) for vc in vcs)

@@ -1,0 +1,61 @@
+"""One RoCo module: a path-set pair feeding a 2x2 crossbar.
+
+The Row-Module switches East/West traffic, the Column-Module North/South
+traffic.  Each module owns two path sets (ports) of three VCs, a Mirror
+switch allocator, and its own fault state — failure of a router-centric
+or critical component isolates only the containing module (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from repro.arbiters.mirror import MirrorAllocator
+from repro.arbiters.sequential import SequentialAllocator
+from repro.core.buffer import VirtualChannel
+from repro.core.types import Direction
+from repro.routers.roco.path_set import COLUMN, ROW
+
+#: Output directions per module, indexed by crossbar slot.
+MODULE_DIRECTIONS = {
+    ROW: (Direction.EAST, Direction.WEST),
+    COLUMN: (Direction.NORTH, Direction.SOUTH),
+}
+
+
+class RoCoModule:
+    """Row- or Column-Module of one RoCo router."""
+
+    def __init__(self, name: str, vcs_per_port: int, mirror: bool = True) -> None:
+        if name not in MODULE_DIRECTIONS:
+            raise ValueError(f"unknown module {name!r}")
+        self.name = name
+        self.directions = MODULE_DIRECTIONS[name]
+        self.ports: list[list[VirtualChannel]] = [[], []]
+        #: The Mirroring Effect allocator, or (ablation) a plain
+        #: separable allocator without the maximal-matching guarantee.
+        if mirror:
+            self.allocator = MirrorAllocator(vcs_per_port)
+        else:
+            self.allocator = SequentialAllocator(vcs_per_port)
+        #: Module isolated by a router-centric / critical-path fault.
+        self.dead = False
+        #: RC fault: departing heads pay the double-routing cycle.
+        self.rc_faulty = False
+        #: SA fault: arbitration offloaded to the idle VA arbiters.
+        self.sa_degraded = False
+
+    def add_vc(self, port: int, vc: VirtualChannel) -> None:
+        self.ports[port].append(vc)
+
+    def slot_of(self, direction: Direction) -> int:
+        """Crossbar slot index for an output direction of this module."""
+        return self.directions.index(direction)
+
+    def handles(self, direction: Direction) -> bool:
+        return direction in self.directions
+
+    def all_vcs(self) -> list[VirtualChannel]:
+        return [vc for port in self.ports for vc in port]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "dead" if self.dead else "alive"
+        return f"RoCoModule({self.name}, {state})"

@@ -1,0 +1,42 @@
+"""Routing algorithms: XY (DOR), oblivious XY-YX, and minimal adaptive."""
+
+from repro.core.types import RoutingMode
+from repro.routing.adaptive import AdaptiveRouting
+from repro.routing.base import (
+    RoutingAlgorithm,
+    path_nodes_xy,
+    path_nodes_yx,
+    productive_directions,
+    xy_direction,
+    yx_direction,
+)
+from repro.routing.xy import XYRouting
+from repro.routing.xyyx import XYYXRouting, choose_variant
+
+_ALGORITHMS = {
+    RoutingMode.XY: XYRouting,
+    RoutingMode.XY_YX: XYYXRouting,
+    RoutingMode.ADAPTIVE: AdaptiveRouting,
+}
+
+
+def make_routing(mode: RoutingMode | str) -> RoutingAlgorithm:
+    """Instantiate the routing algorithm for ``mode``."""
+    if isinstance(mode, str):
+        mode = RoutingMode(mode)
+    return _ALGORITHMS[mode]()
+
+
+__all__ = [
+    "AdaptiveRouting",
+    "RoutingAlgorithm",
+    "XYRouting",
+    "XYYXRouting",
+    "choose_variant",
+    "make_routing",
+    "path_nodes_xy",
+    "path_nodes_yx",
+    "productive_directions",
+    "xy_direction",
+    "yx_direction",
+]

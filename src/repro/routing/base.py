@@ -1,0 +1,126 @@
+"""Routing-algorithm interface.
+
+A routing algorithm answers one question: *given a packet sitting at a
+node, which output directions make progress?*  It returns the minimal
+productive directions as candidates; the router (or its look-ahead logic)
+selects one, using its local congestion view and fault knowledge.  The
+``escape_direction`` — always the dimension-ordered XY choice — is what
+escape/deadlock-free VC classes are restricted to (Duato's protocol, which
+the paper's extra ``dx``/``txy`` VCs implement structurally).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.types import Direction, NodeId, Packet, RoutingMode
+
+
+class RoutingAlgorithm(abc.ABC):
+    """Strategy object for computing productive output directions."""
+
+    mode: RoutingMode
+    #: Injected by the network; None or a mesh keeps the plain
+    #: coordinate comparisons, a torus switches to ring-minimal steps.
+    topology = None
+
+    @abc.abstractmethod
+    def candidates(self, node: NodeId, packet: Packet) -> tuple[Direction, ...]:
+        """Minimal productive directions for ``packet`` at ``node``.
+
+        Returns ``(Direction.LOCAL,)`` when the packet has arrived.  The
+        order expresses the algorithm's own preference; routers may
+        reorder based on congestion when more than one is offered.
+        """
+
+    def escape_direction(self, node: NodeId, packet: Packet) -> Direction:
+        """The deadlock-free dimension-ordered (XY) direction."""
+        return self.dor_direction(node, packet.dest)
+
+    def dor_direction(self, node: NodeId, dest: NodeId) -> Direction:
+        """Topology-aware dimension-ordered (X-first) step."""
+        topology = self.topology
+        if topology is None or topology.name != "torus":
+            return xy_direction(node, dest)
+        from repro.core.topology import ring_direction
+
+        step = ring_direction(
+            node.x, dest.x, topology.width, Direction.EAST, Direction.WEST
+        )
+        if step is not None:
+            return step
+        step = ring_direction(
+            node.y, dest.y, topology.height, Direction.SOUTH, Direction.NORTH
+        )
+        return step if step is not None else Direction.LOCAL
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def xy_direction(node: NodeId, dest: NodeId) -> Direction:
+    """Pure dimension-ordered choice: correct X first, then Y."""
+    if dest.x > node.x:
+        return Direction.EAST
+    if dest.x < node.x:
+        return Direction.WEST
+    if dest.y > node.y:
+        return Direction.SOUTH
+    if dest.y < node.y:
+        return Direction.NORTH
+    return Direction.LOCAL
+
+
+def yx_direction(node: NodeId, dest: NodeId) -> Direction:
+    """Dimension-ordered choice with Y corrected first."""
+    if dest.y > node.y:
+        return Direction.SOUTH
+    if dest.y < node.y:
+        return Direction.NORTH
+    if dest.x > node.x:
+        return Direction.EAST
+    if dest.x < node.x:
+        return Direction.WEST
+    return Direction.LOCAL
+
+
+def productive_directions(node: NodeId, dest: NodeId) -> tuple[Direction, ...]:
+    """Every direction that reduces the Manhattan distance to ``dest``."""
+    dirs: list[Direction] = []
+    if dest.x > node.x:
+        dirs.append(Direction.EAST)
+    elif dest.x < node.x:
+        dirs.append(Direction.WEST)
+    if dest.y > node.y:
+        dirs.append(Direction.SOUTH)
+    elif dest.y < node.y:
+        dirs.append(Direction.NORTH)
+    if not dirs:
+        return (Direction.LOCAL,)
+    return tuple(dirs)
+
+
+def path_nodes_xy(src: NodeId, dest: NodeId) -> list[NodeId]:
+    """Every node an XY-routed packet visits, inclusive of both endpoints."""
+    nodes = [src]
+    cur = src
+    while cur.x != dest.x:
+        cur = NodeId(cur.x + (1 if dest.x > cur.x else -1), cur.y)
+        nodes.append(cur)
+    while cur.y != dest.y:
+        cur = NodeId(cur.x, cur.y + (1 if dest.y > cur.y else -1))
+        nodes.append(cur)
+    return nodes
+
+
+def path_nodes_yx(src: NodeId, dest: NodeId) -> list[NodeId]:
+    """Every node a YX-routed packet visits, inclusive of both endpoints."""
+    nodes = [src]
+    cur = src
+    while cur.y != dest.y:
+        cur = NodeId(cur.x, cur.y + (1 if dest.y > cur.y else -1))
+        nodes.append(cur)
+    while cur.x != dest.x:
+        cur = NodeId(cur.x + (1 if dest.x > cur.x else -1), cur.y)
+        nodes.append(cur)
+    return nodes

@@ -1,0 +1,19 @@
+"""Deterministic dimension-order (XY) routing — the paper's DOR baseline."""
+
+from __future__ import annotations
+
+from repro.core.types import Direction, NodeId, Packet, RoutingMode
+from repro.routing.base import RoutingAlgorithm, xy_direction
+
+
+class XYRouting(RoutingAlgorithm):
+    """Route fully in X, then fully in Y.
+
+    Deadlock-free on a mesh without any VC discipline because it forbids
+    the Y-to-X turns that close cyclic channel dependencies.
+    """
+
+    mode = RoutingMode.XY
+
+    def candidates(self, node: NodeId, packet: Packet) -> tuple[Direction, ...]:
+        return (self.dor_direction(node, packet.dest),)

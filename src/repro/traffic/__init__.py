@@ -1,0 +1,56 @@
+"""Traffic generators for the paper's workloads and extension studies."""
+
+from repro.traffic.base import TrafficPattern
+from repro.traffic.hotspot import HotspotTraffic
+from repro.traffic.multimedia import MultimediaTraffic
+from repro.traffic.neighbor import NeighborTraffic
+from repro.traffic.permutations import (
+    BitComplementTraffic,
+    BitReverseTraffic,
+    ShuffleTraffic,
+)
+from repro.traffic.selfsimilar import SelfSimilarTraffic
+from repro.traffic.transpose import TransposeTraffic
+from repro.traffic.uniform import UniformTraffic
+
+TRAFFIC_CLASSES = {
+    cls.name: cls
+    for cls in (
+        UniformTraffic,
+        TransposeTraffic,
+        SelfSimilarTraffic,
+        MultimediaTraffic,
+        HotspotTraffic,
+        NeighborTraffic,
+        BitComplementTraffic,
+        BitReverseTraffic,
+        ShuffleTraffic,
+    )
+}
+
+
+def make_traffic(name: str, **kwargs) -> TrafficPattern:
+    """Instantiate a traffic pattern by its registered name."""
+    try:
+        cls = TRAFFIC_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic pattern {name!r}; choose from {sorted(TRAFFIC_CLASSES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "BitComplementTraffic",
+    "BitReverseTraffic",
+    "HotspotTraffic",
+    "MultimediaTraffic",
+    "NeighborTraffic",
+    "SelfSimilarTraffic",
+    "ShuffleTraffic",
+    "TRAFFIC_CLASSES",
+    "TrafficPattern",
+    "TransposeTraffic",
+    "UniformTraffic",
+    "make_traffic",
+]

@@ -1,0 +1,45 @@
+"""Hotspot traffic: a fraction of packets converge on a few hot nodes.
+
+Not in the paper's headline figures, but a standard NoC stressor we use
+for extension experiments (ablations on the mirror allocator under
+asymmetric load) and in the examples.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import SimulationConfig
+from repro.core.types import NodeId
+from repro.traffic.base import TrafficPattern
+
+
+class HotspotTraffic(TrafficPattern):
+    """Uniform traffic with a bias towards designated hotspot nodes."""
+
+    name = "hotspot"
+
+    def __init__(
+        self, hotspots: list[NodeId] | None = None, hot_fraction: float = 0.2
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be within [0, 1]")
+        self.hotspots = hotspots
+        self.hot_fraction = hot_fraction
+
+    def bind(self, config: SimulationConfig, rng: random.Random, nodes) -> None:
+        super().bind(config, rng, nodes)
+        if self.hotspots is None:
+            # Default hotspot: the mesh centre, where contention hurts most.
+            self.hotspots = [NodeId(config.width // 2, config.height // 2)]
+        unknown = [h for h in self.hotspots if h not in set(nodes)]
+        if unknown:
+            raise ValueError(f"hotspots outside the mesh: {unknown}")
+
+    def destination(self, src: NodeId) -> NodeId:
+        if self.rng.random() < self.hot_fraction:
+            candidates = [h for h in self.hotspots if h != src]
+            if candidates:
+                return self.rng.choice(candidates)
+        return self._random_other_node(src)

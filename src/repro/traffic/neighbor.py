@@ -1,0 +1,27 @@
+"""Nearest-neighbour traffic.
+
+Section 3.1 argues early ejection "provides a significant advantage in
+terms of nearest-neighbor traffic" under communication-aware mappings
+that place talkative PEs adjacently; this pattern lets us measure that
+claim directly (an extension experiment).
+"""
+
+from __future__ import annotations
+
+from repro.core.types import CARDINALS, NodeId
+from repro.traffic.base import TrafficPattern
+
+
+class NeighborTraffic(TrafficPattern):
+    """Each packet targets a uniformly chosen mesh neighbour."""
+
+    name = "neighbor"
+
+    def destination(self, src: NodeId) -> NodeId:
+        neighbors = [
+            src.neighbor(d)
+            for d in CARDINALS
+            if 0 <= src.neighbor(d).x < self.config.width
+            and 0 <= src.neighbor(d).y < self.config.height
+        ]
+        return self.rng.choice(neighbors)

@@ -1,0 +1,113 @@
+"""Self-similar traffic via superposed Pareto ON/OFF sources.
+
+The paper uses "self-similar web traffic" generated per Barford &
+Crovella's SIGMETRICS'98 methodology.  The generative core of that model
+— and the standard way to synthesise self-similar network traffic — is a
+population of ON/OFF sources whose ON (burst) and OFF (idle) durations
+are heavy-tailed Pareto variables; the superposition is asymptotically
+self-similar with Hurst parameter H = (3 - alpha) / 2.
+
+Each node runs an independent ON/OFF process.  During ON periods the
+node injects packets as a Bernoulli process at a *peak* rate chosen so
+the long-run mean equals the configured injection rate:
+
+    mean = peak * E[on] / (E[on] + E[off])
+
+Destinations are uniform random, as in the paper's setup.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.config import SimulationConfig
+from repro.core.types import NodeId
+from repro.traffic.base import TrafficPattern
+
+#: Pareto shape for burst lengths; alpha = 1.9 gives Hurst H = 0.55-0.9
+#: territory (web traffic measurements cluster around alpha 1.2-2.0).
+DEFAULT_ALPHA_ON = 1.9
+DEFAULT_ALPHA_OFF = 1.25
+#: Minimum burst / idle durations in cycles (Pareto location parameters).
+DEFAULT_MIN_ON = 10.0
+DEFAULT_MIN_OFF = 10.0
+
+
+def pareto(rng: random.Random, alpha: float, minimum: float) -> float:
+    """One Pareto(alpha, minimum) draw."""
+    return minimum / (1.0 - rng.random()) ** (1.0 / alpha)
+
+
+def pareto_mean(alpha: float, minimum: float) -> float:
+    """Mean of Pareto(alpha, minimum); requires alpha > 1."""
+    if alpha <= 1.0:
+        raise ValueError("Pareto mean diverges for alpha <= 1")
+    return alpha * minimum / (alpha - 1.0)
+
+
+@dataclass
+class _SourceState:
+    on: bool
+    remaining: float
+
+
+class SelfSimilarTraffic(TrafficPattern):
+    """Heavy-tailed ON/OFF injection with uniform destinations."""
+
+    name = "self_similar"
+
+    def __init__(
+        self,
+        alpha_on: float = DEFAULT_ALPHA_ON,
+        alpha_off: float = DEFAULT_ALPHA_OFF,
+        min_on: float = DEFAULT_MIN_ON,
+        min_off: float = DEFAULT_MIN_OFF,
+    ) -> None:
+        super().__init__()
+        self.alpha_on = alpha_on
+        self.alpha_off = alpha_off
+        self.min_on = min_on
+        self.min_off = min_off
+        self._states: dict[NodeId, _SourceState] = {}
+        self._peak_rate = 0.0
+
+    def bind(self, config: SimulationConfig, rng, nodes) -> None:
+        super().bind(config, rng, nodes)
+        mean_on = pareto_mean(self.alpha_on, self.min_on)
+        mean_off = pareto_mean(self.alpha_off, self.min_off)
+        duty_cycle = mean_on / (mean_on + mean_off)
+        self._peak_rate = min(1.0, self.packet_rate / duty_cycle)
+        self._states = {
+            node: _SourceState(
+                on=rng.random() < duty_cycle,
+                remaining=pareto(
+                    rng,
+                    self.alpha_on if rng.random() < duty_cycle else self.alpha_off,
+                    self.min_on,
+                ),
+            )
+            for node in nodes
+        }
+
+    @property
+    def duty_cycle(self) -> float:
+        mean_on = pareto_mean(self.alpha_on, self.min_on)
+        mean_off = pareto_mean(self.alpha_off, self.min_off)
+        return mean_on / (mean_on + mean_off)
+
+    def destination(self, src: NodeId) -> NodeId:
+        return self._random_other_node(src)
+
+    def arrivals(self, node: NodeId, cycle: int) -> int:
+        state = self._states[node]
+        state.remaining -= 1.0
+        if state.remaining <= 0.0:
+            state.on = not state.on
+            if state.on:
+                state.remaining = pareto(self.rng, self.alpha_on, self.min_on)
+            else:
+                state.remaining = pareto(self.rng, self.alpha_off, self.min_off)
+        if state.on and self.rng.random() < self._peak_rate:
+            return 1
+        return 0

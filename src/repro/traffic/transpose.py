@@ -1,0 +1,27 @@
+"""Matrix-transpose traffic (Dally & Towles): node (x, y) sends to (y, x).
+
+Diagonal nodes (x == y) have no transpose partner and fall back to
+uniform destinations so every node offers load, keeping the configured
+flits/node/cycle meaningful.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import NodeId
+from repro.traffic.base import TrafficPattern
+
+
+class TransposeTraffic(TrafficPattern):
+    """The paper's transpose permutation workload (Figure 10)."""
+
+    name = "transpose"
+
+    def destination(self, src: NodeId) -> NodeId:
+        dest = NodeId(src.y, src.x)
+        if dest == src or not (
+            dest.x < self.config.width and dest.y < self.config.height
+        ):
+            # Diagonal nodes (and out-of-bounds partners on rectangular
+            # meshes) fall back to uniform so every node offers load.
+            return self._random_other_node(src)
+        return dest

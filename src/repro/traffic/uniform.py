@@ -1,0 +1,15 @@
+"""Uniform random traffic — every other node is an equally likely destination."""
+
+from __future__ import annotations
+
+from repro.core.types import NodeId
+from repro.traffic.base import TrafficPattern
+
+
+class UniformTraffic(TrafficPattern):
+    """Bernoulli injection to uniformly random destinations."""
+
+    name = "uniform"
+
+    def destination(self, src: NodeId) -> NodeId:
+        return self._random_other_node(src)

@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import SimulationResult, run_simulation
+
+
+def small_config(**overrides) -> SimulationConfig:
+    """A 4x4 mesh configuration sized for fast unit-level runs."""
+    params = {
+        "width": 4,
+        "height": 4,
+        "router": "roco",
+        "routing": "xy",
+        "traffic": "uniform",
+        "injection_rate": 0.10,
+        "warmup_packets": 30,
+        "measure_packets": 150,
+        "max_cycles": 20_000,
+        "seed": 7,
+    }
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+def run_small(**overrides) -> SimulationResult:
+    return run_simulation(small_config(**overrides))
+
+
+@pytest.fixture(scope="session")
+def baseline_results() -> dict[str, SimulationResult]:
+    """One small fault-free run per architecture, shared across tests."""
+    return {
+        router: run_small(router=router)
+        for router in ("generic", "path_sensitive", "roco")
+    }

@@ -1,0 +1,59 @@
+"""Tests for the ablation configuration switches."""
+
+from repro.arbiters.mirror import MirrorAllocator
+from repro.arbiters.sequential import SequentialAllocator
+from repro.core.config import RouterConfig, SimulationConfig
+from repro.core.network import Network
+from repro.core.simulator import run_simulation
+from repro.core.types import NodeId
+
+from .conftest import small_config
+
+
+def config_with(**router_overrides):
+    rc = RouterConfig.for_architecture("roco", **router_overrides)
+    return small_config(router="roco", router_config=rc, measure_packets=150)
+
+
+class TestMirrorSwitch:
+    def test_default_uses_mirror(self):
+        net = Network(SimulationConfig(width=3, height=3, router="roco"))
+        module = net.routers[NodeId(1, 1)].row
+        assert isinstance(module.allocator, MirrorAllocator)
+
+    def test_ablation_uses_sequential(self):
+        rc = RouterConfig.for_architecture("roco", mirror_allocation=False)
+        net = Network(
+            SimulationConfig(width=3, height=3, router="roco", router_config=rc)
+        )
+        module = net.routers[NodeId(1, 1)].row
+        assert isinstance(module.allocator, SequentialAllocator)
+
+    def test_ablated_network_still_delivers(self):
+        result = run_simulation(config_with(mirror_allocation=False))
+        assert result.completion_probability == 1.0
+
+
+class TestLookaheadSwitch:
+    def test_disabling_lookahead_adds_latency(self):
+        with_la = run_simulation(config_with(lookahead_routing=True))
+        without = run_simulation(config_with(lookahead_routing=False))
+        assert without.completion_probability == 1.0
+        assert without.average_latency > with_la.average_latency
+
+    def test_path_sensitive_honours_flag_too(self):
+        rc_on = RouterConfig.for_architecture("path_sensitive")
+        rc_off = RouterConfig.for_architecture(
+            "path_sensitive", lookahead_routing=False
+        )
+        on = run_simulation(
+            small_config(
+                router="path_sensitive", router_config=rc_on, measure_packets=150
+            )
+        )
+        off = run_simulation(
+            small_config(
+                router="path_sensitive", router_config=rc_off, measure_packets=150
+            )
+        )
+        assert off.average_latency > on.average_latency

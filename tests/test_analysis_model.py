@@ -1,0 +1,86 @@
+"""Tests for the analytical performance model, cross-validated against
+the simulator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.model import (
+    ZeroLoadEstimate,
+    average_hops_uniform,
+    bisection_saturation_rate,
+    center_link_load,
+    expected_saturation_rate,
+    zero_load_latency,
+)
+
+from .conftest import run_small
+
+
+class TestHopFormula:
+    @given(st.integers(2, 10))
+    def test_matches_bruteforce(self, k):
+        total = 0
+        count = 0
+        for sx in range(k):
+            for sy in range(k):
+                for dx in range(k):
+                    for dy in range(k):
+                        if (sx, sy) == (dx, dy):
+                            continue
+                        total += abs(sx - dx) + abs(sy - dy)
+                        count += 1
+        assert average_hops_uniform(k) == pytest.approx(total / count)
+
+    def test_known_value_8x8(self):
+        assert average_hops_uniform(8) == pytest.approx(16 / 3)
+
+    def test_rejects_tiny_mesh(self):
+        with pytest.raises(ValueError):
+            average_hops_uniform(1)
+
+
+class TestZeroLoadLatency:
+    def test_generic_pays_rc_and_ejection(self):
+        generic = zero_load_latency("generic", 8)
+        roco = zero_load_latency("roco", 8)
+        assert generic.total > roco.total
+        assert generic.total - roco.total == pytest.approx(generic.hops + 2)
+
+    def test_lookahead_routers_identical(self):
+        assert zero_load_latency("roco", 8).total == pytest.approx(
+            zero_load_latency("path_sensitive", 8).total
+        )
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            zero_load_latency("hexagonal", 8)
+
+    @pytest.mark.parametrize("router", ["generic", "path_sensitive", "roco"])
+    def test_simulator_matches_model_at_low_load(self, router):
+        """The headline cross-validation: unloaded simulation latency
+        must land within ~15% of the closed-form pipeline estimate."""
+        estimate = zero_load_latency(router, k=4)
+        result = run_small(router=router, injection_rate=0.02, measure_packets=120)
+        assert result.average_latency == pytest.approx(estimate.total, rel=0.15)
+
+
+class TestSaturation:
+    def test_bisection_bound(self):
+        assert bisection_saturation_rate(8) == pytest.approx(0.5)
+        assert bisection_saturation_rate(4) == pytest.approx(1.0)
+
+    def test_expected_rate_below_bound(self):
+        assert expected_saturation_rate(8) < bisection_saturation_rate(8)
+
+    def test_simulator_unsaturated_below_estimate(self):
+        """At half the estimated saturation rate the network must accept
+        the offered load (throughput tracks injection)."""
+        rate = expected_saturation_rate(4) / 2
+        result = run_small(injection_rate=rate, measure_packets=400)
+        assert result.completion_probability == 1.0
+        assert result.average_latency < 3 * zero_load_latency("roco", 4).total
+
+    def test_center_link_load_scales(self):
+        assert center_link_load(8, 0.4) == pytest.approx(0.8)
+        assert center_link_load(8, 0.2) < center_link_load(8, 0.4)

@@ -1,0 +1,93 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.core.statistics import ActivityCounters
+from repro.energy import EnergyModel, EnergyReport, PROFILES, profile_for
+from repro.energy.profiles import CROSSBAR_SCALE, CROSSPOINTS, VA_ARBITER_WIDTH
+
+
+class TestProfiles:
+    def test_all_architectures_present(self):
+        assert set(PROFILES) == {"generic", "path_sensitive", "roco"}
+
+    def test_structural_ordering(self):
+        """Smaller crossbars and arbiters must cost less (Section 5.2)."""
+        g, p, r = (PROFILES[k] for k in ("generic", "path_sensitive", "roco"))
+        assert r.crossbar_traversal < p.crossbar_traversal < g.crossbar_traversal
+        assert r.va_request < p.va_request < g.va_request
+        assert r.leakage_per_cycle < p.leakage_per_cycle < g.leakage_per_cycle
+
+    def test_buffers_identical_across_designs(self):
+        """The paper equalises buffering, so per-access energy matches."""
+        writes = {p.buffer_write for p in PROFILES.values()}
+        reads = {p.buffer_read for p in PROFILES.values()}
+        assert len(writes) == 1 and len(reads) == 1
+
+    def test_crosspoint_counts(self):
+        assert CROSSPOINTS == {"generic": 25, "path_sensitive": 8, "roco": 4}
+
+    def test_va_widths_match_figure2(self):
+        assert VA_ARBITER_WIDTH["generic"] == 15  # 5v:1 for v = 3
+        assert VA_ARBITER_WIDTH["roco"] == 6  # 2v:1 for v = 3
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            profile_for("optical")
+
+    def test_energies_positive(self):
+        for profile in PROFILES.values():
+            assert profile.buffer_write > 0
+            assert profile.crossbar_traversal > 0
+            assert profile.leakage_per_cycle > 0
+
+
+class TestAccounting:
+    def test_dynamic_energy_linear_in_activity(self):
+        model = EnergyModel("roco", num_routers=16)
+        single = ActivityCounters(buffer_writes=1)
+        double = ActivityCounters(buffer_writes=2)
+        assert model.dynamic_energy(double) == pytest.approx(
+            2 * model.dynamic_energy(single)
+        )
+
+    def test_leakage_scales_with_cycles_and_routers(self):
+        model = EnergyModel("generic", num_routers=64)
+        assert model.leakage_energy(100) == pytest.approx(
+            100 * 64 * model.profile.leakage_per_cycle
+        )
+
+    def test_report_totals(self):
+        model = EnergyModel("roco", num_routers=4)
+        activity = ActivityCounters(buffer_writes=10, link_flits=10)
+        report = model.report(activity, cycles=50, delivered_packets=5)
+        assert report.total == pytest.approx(report.dynamic + report.leakage)
+        assert report.per_packet == pytest.approx(report.total / 5)
+        assert report.per_packet_nj == pytest.approx(report.per_packet * 1e9)
+
+    def test_zero_packets_no_division_error(self):
+        report = EnergyReport(dynamic=1.0, leakage=1.0, delivered_packets=0)
+        assert report.per_packet == 0.0
+
+    def test_every_activity_field_costs_energy(self):
+        model = EnergyModel("generic", num_routers=1)
+        base = model.dynamic_energy(ActivityCounters())
+        assert base == 0.0
+        for field in (
+            "buffer_writes",
+            "buffer_reads",
+            "crossbar_traversals",
+            "va_requests",
+            "sa_requests",
+            "link_flits",
+            "early_ejections",
+        ):
+            activity = ActivityCounters(**{field: 1})
+            assert model.dynamic_energy(activity) > 0, field
+
+    def test_crossbar_scale_ordering(self):
+        assert (
+            CROSSBAR_SCALE["roco"]
+            < CROSSBAR_SCALE["path_sensitive"]
+            < CROSSBAR_SCALE["generic"]
+        )

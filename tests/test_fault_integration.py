@@ -1,0 +1,127 @@
+"""Integration tests for faulty-network behaviour (Section 4/5.4)."""
+
+import random
+
+import pytest
+
+from repro.core.simulator import run_simulation
+from repro.core.types import NodeId
+from repro.faults import Component, ComponentFault, random_faults
+from repro.routers.roco.path_set import COLUMN, ROW
+
+from .conftest import small_config
+
+
+def run_faulty(router, faults, **overrides):
+    params = {
+        "router": router,
+        "injection_rate": 0.15,
+        "warmup_packets": 30,
+        "measure_packets": 250,
+        "max_cycles": 40_000,
+    }
+    params.update(overrides)
+    return run_simulation(small_config(**params), faults=faults)
+
+
+CENTER_FAULT = [ComponentFault(NodeId(1, 1), Component.CROSSBAR, module=ROW)]
+
+
+class TestGracefulDegradation:
+    def test_roco_row_fault_loses_only_row_transit(self):
+        """Column traffic through the faulty node must keep flowing."""
+        result = run_faulty("roco", CENTER_FAULT)
+        # Some packets (those needing E/W transit through (1,1)) are lost,
+        # but plenty complete — the module isolation works.
+        assert 0.5 < result.completion_probability < 1.0
+
+    def test_generic_fault_loses_more_than_roco(self):
+        faults = [ComponentFault(NodeId(1, 1), Component.CROSSBAR, module=ROW)]
+        roco = run_faulty("roco", faults)
+        generic = run_faulty("generic", faults)
+        assert roco.completion_probability > generic.completion_probability
+
+    def test_roco_noncritical_faults_fully_recycled(self):
+        """RC/SA/buffer faults are bypassed by hardware recycling —
+        completion stays at 1.0 (Figure 12's RoCo bars)."""
+        faults = [
+            ComponentFault(NodeId(1, 1), Component.RC, module=ROW),
+            ComponentFault(NodeId(2, 2), Component.SA, module=COLUMN),
+            ComponentFault(NodeId(0, 3), Component.BUFFER, module=ROW, vc_position=1),
+        ]
+        result = run_faulty("roco", faults)
+        assert result.completion_probability == 1.0
+
+    def test_generic_noncritical_fault_still_kills_node(self):
+        faults = [ComponentFault(NodeId(1, 1), Component.RC)]
+        result = run_faulty("generic", faults)
+        assert result.completion_probability < 1.0
+
+    def test_recycling_costs_some_latency(self):
+        """Recovery is not free: RC double-routing adds delay."""
+        clean = run_faulty("roco", [])
+        faults = [
+            ComponentFault(NodeId(1, 1), Component.RC, module=ROW),
+            ComponentFault(NodeId(2, 1), Component.RC, module=COLUMN),
+        ]
+        degraded = run_faulty("roco", faults)
+        assert degraded.completion_probability == 1.0
+        assert degraded.average_latency >= clean.average_latency
+
+
+class TestAdaptiveFaultAvoidance:
+    @pytest.mark.parametrize("routing", ["xy-yx", "adaptive"])
+    def test_alternate_paths_raise_completion(self, routing):
+        """XY-YX and adaptive routing route around dead nodes, so they
+        complete at least as much as deterministic XY (Figure 11 b/c)."""
+        faults = [ComponentFault(NodeId(2, 1), Component.VA, module=ROW)]
+        xy = run_faulty("roco", faults, routing="xy")
+        alt = run_faulty("roco", faults, routing=routing)
+        assert alt.completion_probability >= xy.completion_probability
+
+    def test_adaptive_generic_avoids_dead_neighbor(self):
+        faults = [ComponentFault(NodeId(1, 1), Component.CROSSBAR)]
+        xy = run_faulty("generic", faults, routing="xy")
+        adaptive = run_faulty("generic", faults, routing="adaptive")
+        assert adaptive.completion_probability >= xy.completion_probability
+
+
+class TestFaultScaling:
+    def test_completion_degrades_with_fault_count(self):
+        rng = random.Random(4)
+        nodes = [NodeId(x, y) for y in range(4) for x in range(4)]
+        completions = []
+        for count in (1, 3):
+            faults = random_faults(nodes, count, rng, critical=True)
+            completions.append(
+                run_faulty("generic", faults).completion_probability
+            )
+        assert completions[1] <= completions[0]
+
+    def test_pef_worsens_under_faults(self):
+        clean = run_faulty("roco", [])
+        faulty = run_faulty("roco", CENTER_FAULT)
+        assert faulty.pef > clean.pef
+
+    def test_dropped_plus_delivered_covers_injected(self):
+        result = run_faulty("generic", CENTER_FAULT)
+        assert (
+            result.delivered_packets + result.dropped_packets
+            <= result.injected_packets
+        )
+        # Undelivered-but-untracked packets only exist if the run hit the
+        # horizon; completion accounts for them regardless.
+        assert result.completion_probability == pytest.approx(
+            result.delivered_packets / result.injected_packets
+        )
+
+
+class TestInjectionAtFaultyNodes:
+    def test_roco_dead_row_module_drops_x_first_packets(self):
+        """Packets that can only start in the dead dimension are lost;
+        same-column packets still inject via Injyx."""
+        faults = [ComponentFault(NodeId(0, 0), Component.VA, module=ROW)]
+        result = run_faulty("roco", faults, routing="xy", traffic="transpose")
+        # Transpose sends (0,0)->(0,0)? no — diagonal falls back uniform;
+        # the run must simply terminate with partial completion.
+        assert 0.0 < result.completion_probability <= 1.0

@@ -1,0 +1,125 @@
+"""Tests for the experiment harness and report rendering."""
+
+import pytest
+
+from repro.core.types import RoutingMode
+from repro.harness import (
+    QUICK,
+    ROUTERS,
+    SCALES,
+    ExperimentScale,
+    averaged_point,
+    fault_population,
+    figure2,
+    mesh_nodes,
+    report,
+    run_point,
+    table1,
+    table2,
+)
+
+TINY = ExperimentScale(
+    name="tiny",
+    width=4,
+    height=4,
+    warmup_packets=30,
+    measure_packets=120,
+    seeds=(1, 2),
+    rates=(0.05, 0.15),
+    contention_rates=(0.10,),
+    max_cycles=20_000,
+)
+
+
+class TestScalesAndPoints:
+    def test_registered_scales(self):
+        assert {"quick", "standard", "paper"} <= set(SCALES)
+
+    def test_run_point(self):
+        result = run_point("roco", RoutingMode.XY, "uniform", 0.1, TINY)
+        assert result.completion_probability == 1.0
+
+    def test_averaged_point_over_seeds(self):
+        point = averaged_point("roco", RoutingMode.XY, "uniform", 0.1, TINY)
+        assert point["average_latency"] > 0
+        assert point["completion_probability"] == 1.0
+        singles = [
+            run_point("roco", RoutingMode.XY, "uniform", 0.1, TINY, seed=s)
+            for s in TINY.seeds
+        ]
+        expected = sum(r.average_latency for r in singles) / len(singles)
+        assert point["average_latency"] == pytest.approx(expected)
+
+    def test_mesh_nodes(self):
+        nodes = mesh_nodes(TINY)
+        assert len(nodes) == 16
+
+    def test_fault_population_deterministic_and_shared(self):
+        a = fault_population(TINY, 2, critical=True, seed=1)
+        b = fault_population(TINY, 2, critical=True, seed=1)
+        assert a == b
+        c = fault_population(TINY, 2, critical=True, seed=2)
+        assert a != c
+
+    def test_fault_point(self):
+        faults = {s: fault_population(TINY, 1, True, s) for s in TINY.seeds}
+        point = averaged_point(
+            "roco", RoutingMode.XY, "uniform", 0.1, TINY, faults_per_seed=faults
+        )
+        assert 0 < point["completion_probability"] <= 1.0
+
+
+class TestStructuralFigures:
+    def test_table1_has_all_modes(self):
+        data = table1()
+        assert set(data) == {"xy", "xy-yx", "adaptive"}
+        for summary in data.values():
+            assert sum(len(v) for v in summary.values()) == 12
+
+    def test_table2_values(self):
+        t = table2()
+        assert t["generic"] == pytest.approx(0.043, abs=5e-4)
+        assert t["roco"] == 0.25
+
+    def test_figure2(self):
+        assert len(figure2(3)) == 4
+
+
+class TestReportRendering:
+    def test_render_table(self):
+        text = report.render_table(["a", "b"], [[1, 2.5], ["x", "y"]], title="T")
+        assert "T" in text and "2.500" in text and "x" in text
+
+    def test_render_table1(self):
+        text = report.render_table1(table1())
+        assert "Injxy" in text and "tyx" in text
+
+    def test_render_table2(self):
+        text = report.render_table2(table2())
+        assert "0.250" in text
+
+    def test_render_curves(self):
+        text = report.render_curves(
+            {"roco": [(0.1, 20.0), (0.2, 25.0)], "generic": [(0.1, 26.0), (0.2, 33.0)]}
+        )
+        assert "roco" in text and "25.00" in text
+
+    def test_render_fault_figure(self):
+        data = {"xy": {"roco": {1: 0.95, 2: 0.9}, "generic": {1: 0.8, 2: 0.7}}}
+        text = report.render_fault_figure(data, "Figure 11")
+        assert "0.950" in text and "xy" in text
+
+    def test_render_figure13(self):
+        data = {"uniform": {"generic": 1.0, "roco": 0.8}}
+        text = report.render_figure13(data)
+        assert "uniform" in text and "0.800" in text
+
+    def test_render_figure14(self):
+        data = {
+            "critical": {
+                "roco": {1: {"pef": 50.0, "latency": 30.0}},
+                "generic": {1: {"pef": 90.0, "latency": 40.0}},
+            }
+        }
+        text = report.render_figure14(data)
+        assert "50.0|30.0" in text

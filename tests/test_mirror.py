@@ -1,0 +1,111 @@
+"""Unit and property tests for the Mirroring Effect allocator (Figure 4)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arbiters.mirror import (
+    MirrorAllocator,
+    MirrorGrant,
+    max_possible_matching,
+)
+
+
+def reqs(p1_slot0=(), p1_slot1=(), p2_slot0=(), p2_slot1=(), num_vcs=3):
+    """Build a request matrix from VC-index tuples."""
+    matrix = [[[False] * num_vcs for _ in range(2)] for _ in range(2)]
+    for vc in p1_slot0:
+        matrix[0][0][vc] = True
+    for vc in p1_slot1:
+        matrix[0][1][vc] = True
+    for vc in p2_slot0:
+        matrix[1][0][vc] = True
+    for vc in p2_slot1:
+        matrix[1][1][vc] = True
+    return matrix
+
+
+class TestMirrorCases:
+    def test_perfect_mirror_pairing(self):
+        """P1->slot0 and P2->slot1 are served simultaneously."""
+        alloc = MirrorAllocator(3)
+        grants = alloc.allocate(reqs(p1_slot0=(0,), p2_slot1=(1,)))
+        assert {(g.port, g.direction_slot) for g in grants} == {(0, 0), (1, 1)}
+
+    def test_conflicting_single_direction(self):
+        """Both ports want the same output: only one passes."""
+        alloc = MirrorAllocator(3)
+        grants = alloc.allocate(reqs(p1_slot0=(0,), p2_slot0=(0,)))
+        assert len(grants) == 1
+
+    def test_mirror_steers_port1_to_enable_port2(self):
+        """P1 can go either way, P2 only slot0: P1 must take slot1."""
+        alloc = MirrorAllocator(3)
+        grants = alloc.allocate(reqs(p1_slot0=(0,), p1_slot1=(1,), p2_slot0=(2,)))
+        assert len(grants) == 2
+        by_port = {g.port: g.direction_slot for g in grants}
+        assert by_port[0] == 1 and by_port[1] == 0
+
+    def test_port2_served_when_port1_idle(self):
+        alloc = MirrorAllocator(3)
+        grants = alloc.allocate(reqs(p2_slot1=(2,)))
+        assert grants == [MirrorGrant(1, 1, 2)]
+
+    def test_no_requests_no_grants(self):
+        alloc = MirrorAllocator(3)
+        assert alloc.allocate(reqs()) == []
+
+    def test_at_most_one_grant_per_port_and_slot(self):
+        alloc = MirrorAllocator(3)
+        grants = alloc.allocate(
+            reqs(p1_slot0=(0, 1), p1_slot1=(2,), p2_slot0=(0,), p2_slot1=(1, 2))
+        )
+        ports = [g.port for g in grants]
+        slots = [g.direction_slot for g in grants]
+        assert len(set(ports)) == len(ports)
+        assert len(set(slots)) == len(slots)
+
+    def test_local_arbiters_rotate(self):
+        alloc = MirrorAllocator(3)
+        winners = []
+        for _ in range(3):
+            grants = alloc.allocate(reqs(p1_slot0=(0, 1, 2)))
+            winners.append(grants[0].vc_index)
+        assert set(winners) == {0, 1, 2}
+
+    def test_global_tie_break_alternates(self):
+        alloc = MirrorAllocator(3)
+        slots = []
+        for _ in range(4):
+            grants = alloc.allocate(reqs(p1_slot0=(0,), p1_slot1=(1,)))
+            slots.append(grants[0].direction_slot)
+        assert set(slots) == {0, 1}
+
+
+request_matrix = st.lists(
+    st.lists(st.lists(st.booleans(), min_size=3, max_size=3), min_size=2, max_size=2),
+    min_size=2,
+    max_size=2,
+)
+
+
+class TestMirrorProperties:
+    @given(request_matrix)
+    def test_matching_is_always_maximal(self, matrix):
+        """The Mirroring Effect's headline property (Section 3.3)."""
+        alloc = MirrorAllocator(3)
+        grants = alloc.allocate(matrix)
+        assert len(grants) == max_possible_matching(matrix)
+
+    @given(request_matrix)
+    def test_grants_are_valid_requests(self, matrix):
+        alloc = MirrorAllocator(3)
+        for g in alloc.allocate(matrix):
+            assert matrix[g.port][g.direction_slot][g.vc_index]
+
+    @given(st.lists(request_matrix, max_size=20))
+    def test_maximality_holds_across_arbiter_state(self, matrices):
+        """Internal rotating priorities never break maximality."""
+        alloc = MirrorAllocator(3)
+        for matrix in matrices:
+            grants = alloc.allocate(matrix)
+            assert len(grants) == max_possible_matching(matrix)

@@ -1,0 +1,117 @@
+"""Unit tests for the statistics collector."""
+
+from repro.core.statistics import (
+    ActivityCounters,
+    ContentionCounters,
+    StatsCollector,
+)
+from repro.core.types import NodeId, Packet
+
+
+def packet(pid=0, src=(0, 0), dest=(2, 1)):
+    return Packet(
+        pid=pid,
+        src=NodeId(*src),
+        dest=NodeId(*dest),
+        size=4,
+        created_cycle=0,
+    )
+
+
+class TestWarmupGating:
+    def test_warmup_packets_not_counted(self):
+        stats = StatsCollector()
+        assert stats.packet_created(packet()) is False
+        assert stats.injected_packets == 0
+
+    def test_measured_packets_counted(self):
+        stats = StatsCollector()
+        stats.start_measurement(cycle=100)
+        assert stats.packet_created(packet()) is True
+        assert stats.injected_packets == 1
+
+    def test_delivery_only_counts_measured(self):
+        stats = StatsCollector()
+        stats.start_measurement(0)
+        p = packet()
+        p.delivered_cycle = 30
+        stats.packet_delivered(p, measured=False)
+        assert stats.delivered_packets == 0
+        stats.packet_delivered(p, measured=True)
+        assert stats.delivered_packets == 1
+        assert stats.latencies == [30]
+
+    def test_tick_counts_only_while_measuring(self):
+        stats = StatsCollector()
+        stats.tick()
+        stats.start_measurement(5)
+        stats.tick()
+        stats.tick()
+        assert stats.measured_cycles == 2
+
+
+class TestDerivedMetrics:
+    def test_completion_probability(self):
+        stats = StatsCollector()
+        stats.start_measurement(0)
+        for pid in range(4):
+            stats.packet_created(packet(pid))
+        delivered = packet(0)
+        delivered.delivered_cycle = 10
+        stats.packet_delivered(delivered, True)
+        stats.packet_dropped(packet(1), True)
+        assert stats.completion_probability == 0.25
+        assert stats.dropped_packets == 1
+
+    def test_completion_is_one_with_no_traffic(self):
+        assert StatsCollector().completion_probability == 1.0
+
+    def test_average_hops(self):
+        stats = StatsCollector()
+        stats.start_measurement(0)
+        p = packet(dest=(3, 1))  # 3 + 1 hops
+        stats.packet_created(p)
+        p.delivered_cycle = 9
+        stats.packet_delivered(p, True)
+        assert stats.average_hops == 4.0
+
+    def test_throughput_normalised_per_node(self):
+        stats = StatsCollector(num_nodes=4)
+        stats.start_measurement(0)
+        for _ in range(10):
+            stats.tick()
+            stats.flit_delivered(True)
+        assert stats.throughput_flits_per_node_cycle == 10 / 10 / 4
+
+    def test_summary_keys(self):
+        summary = StatsCollector().summary()
+        assert {
+            "average_latency",
+            "completion_probability",
+            "delivered_packets",
+        } <= set(summary)
+
+
+class TestContentionCounters:
+    def test_probabilities(self):
+        c = ContentionCounters(
+            row_requests=10, row_contended=4, column_requests=5, column_contended=1
+        )
+        assert c.row_probability == 0.4
+        assert c.column_probability == 0.2
+        assert c.overall_probability == 5 / 15
+
+    def test_zero_requests(self):
+        c = ContentionCounters()
+        assert c.row_probability == 0.0
+        assert c.overall_probability == 0.0
+
+
+class TestActivityCounters:
+    def test_merged(self):
+        a = ActivityCounters(buffer_writes=2, link_flits=3)
+        b = ActivityCounters(buffer_writes=5, early_ejections=1)
+        merged = a.merged(b)
+        assert merged.buffer_writes == 7
+        assert merged.link_flits == 3
+        assert merged.early_ejections == 1
