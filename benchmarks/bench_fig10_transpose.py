@@ -1,6 +1,6 @@
 """Reproduces Figure 10 — latency vs injection rate, transpose traffic."""
 
-from conftest import once
+from conftest import EXECUTOR, once
 
 from repro.harness import ExperimentScale, figure10, report
 
@@ -19,7 +19,7 @@ TRANSPOSE_SCALE = ExperimentScale(
 
 
 def test_figure10_transpose_latency(benchmark):
-    data = once(benchmark, lambda: figure10(TRANSPOSE_SCALE))
+    data = once(benchmark, lambda: figure10(TRANSPOSE_SCALE, executor=EXECUTOR))
     print()
     print(report.render_latency_figure(data, "Figure 10", "transpose"))
 

@@ -1,12 +1,12 @@
 """Reproduces Figure 11 — completion probability, router-centric faults."""
 
-from conftest import BENCH_FAULTS, once
+from conftest import BENCH_FAULTS, EXECUTOR, once
 
 from repro.harness import fault_figure, report
 
 
 def test_figure11_critical_fault_completion(benchmark):
-    data = once(benchmark, lambda: fault_figure(critical=True, scale=BENCH_FAULTS))
+    data = once(benchmark, lambda: fault_figure(critical=True, scale=BENCH_FAULTS, executor=EXECUTOR))
     print()
     print(report.render_fault_figure(data, "Figure 11 (router-centric faults)"))
 

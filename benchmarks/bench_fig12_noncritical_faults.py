@@ -1,12 +1,12 @@
 """Reproduces Figure 12 — completion probability, message-centric faults."""
 
-from conftest import BENCH_FAULTS, once
+from conftest import BENCH_FAULTS, EXECUTOR, once
 
 from repro.harness import fault_figure, report
 
 
 def test_figure12_noncritical_fault_completion(benchmark):
-    data = once(benchmark, lambda: fault_figure(critical=False, scale=BENCH_FAULTS))
+    data = once(benchmark, lambda: fault_figure(critical=False, scale=BENCH_FAULTS, executor=EXECUTOR))
     print()
     print(report.render_fault_figure(data, "Figure 12 (message-centric faults)"))
 

@@ -1,12 +1,12 @@
 """Reproduces Figure 13 — energy per packet at 30% injection."""
 
-from conftest import BENCH, once
+from conftest import BENCH, EXECUTOR, once
 
 from repro.harness import figure13, report
 
 
 def test_figure13_energy_per_packet(benchmark):
-    data = once(benchmark, lambda: figure13(BENCH))
+    data = once(benchmark, lambda: figure13(BENCH, executor=EXECUTOR))
     print()
     print(report.render_figure13(data))
 

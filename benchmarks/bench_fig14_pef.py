@@ -1,12 +1,12 @@
 """Reproduces Figure 14 — the combined PEF metric under faults."""
 
-from conftest import BENCH_FAULTS, once
+from conftest import BENCH_FAULTS, EXECUTOR, once
 
 from repro.harness import figure14, report
 
 
 def test_figure14_pef(benchmark):
-    data = once(benchmark, lambda: figure14(BENCH_FAULTS))
+    data = once(benchmark, lambda: figure14(BENCH_FAULTS, executor=EXECUTOR))
     print()
     print(report.render_figure14(data))
 

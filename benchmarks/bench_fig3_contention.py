@@ -1,12 +1,12 @@
 """Reproduces Figure 3 — contention probabilities vs offered load."""
 
-from conftest import BENCH, once
+from conftest import BENCH, EXECUTOR, once
 
 from repro.harness import figure3, report
 
 
 def test_figure3_contention_probabilities(benchmark):
-    data = once(benchmark, lambda: figure3(BENCH))
+    data = once(benchmark, lambda: figure3(BENCH, executor=EXECUTOR))
     print()
     for panel, title in (
         ("row_xy", "(a) row input, XY routing"),

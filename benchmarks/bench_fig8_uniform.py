@@ -1,12 +1,12 @@
 """Reproduces Figure 8 — latency vs injection rate, uniform random traffic."""
 
-from conftest import BENCH, once
+from conftest import BENCH, EXECUTOR, once
 
 from repro.harness import figure8, report
 
 
 def test_figure8_uniform_latency(benchmark):
-    data = once(benchmark, lambda: figure8(BENCH))
+    data = once(benchmark, lambda: figure8(BENCH, executor=EXECUTOR))
     print()
     print(report.render_latency_figure(data, "Figure 8", "uniform"))
 

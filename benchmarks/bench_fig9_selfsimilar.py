@@ -1,12 +1,12 @@
 """Reproduces Figure 9 — latency vs injection rate, self-similar traffic."""
 
-from conftest import BENCH, once
+from conftest import BENCH, EXECUTOR, once
 
 from repro.harness import figure9, report
 
 
 def test_figure9_selfsimilar_latency(benchmark):
-    data = once(benchmark, lambda: figure9(BENCH))
+    data = once(benchmark, lambda: figure9(BENCH, executor=EXECUTOR))
     print()
     print(report.render_latency_figure(data, "Figure 9", "self-similar"))
 

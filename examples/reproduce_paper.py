@@ -7,10 +7,17 @@ paper-style reports.  Scale is selectable::
     python examples/reproduce_paper.py standard   # multi-seed (~15 min)
     python examples/reproduce_paper.py paper      # the paper's dimensions
 
+A second argument sets the worker count (0 = all cores, the default),
+and ``REPRO_CACHE`` names an on-disk result-cache directory so
+interrupted or repeated reproductions skip finished points::
+
+    REPRO_CACHE=/tmp/repro-cache python examples/reproduce_paper.py standard 8
+
 The benchmarks under ``benchmarks/`` assert the shape targets on the
 same runners; this script is the human-readable front end.
 """
 
+import os
 import sys
 import time
 
@@ -29,14 +36,22 @@ from repro.harness import (
     table1,
     table2,
 )
+from repro.harness.parallel import ParallelExecutor, ResultCache
 
 
 def main() -> None:
     scale_name = sys.argv[1] if len(sys.argv) > 1 else "quick"
     scale = SCALES.get(scale_name, QUICK)
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    cache_dir = os.environ.get("REPRO_CACHE")
+    executor = ParallelExecutor(
+        workers=workers,
+        cache=ResultCache(cache_dir) if cache_dir else None,
+    )
     print(f"Reproducing the evaluation at the '{scale.name}' scale "
           f"({scale.width}x{scale.height} mesh, {scale.measure_packets} "
-          f"measured packets, seeds {scale.seeds}).\n")
+          f"measured packets, seeds {scale.seeds}) "
+          f"on {executor.workers} worker(s).\n")
     start = time.time()
 
     print(report.render_table1(table1()))
@@ -44,7 +59,7 @@ def main() -> None:
     print(report.render_table2(table2()))
     print()
 
-    data = figure3(scale)
+    data = figure3(scale, executor=executor)
     for panel, title in (
         ("row_xy", "(a) row input, XY"),
         ("column_xy", "(b) column input, XY"),
@@ -58,25 +73,26 @@ def main() -> None:
         )
         print()
 
-    print(report.render_latency_figure(figure8(scale), "Figure 8", "uniform"))
+    print(report.render_latency_figure(figure8(scale, executor=executor), "Figure 8", "uniform"))
     print()
-    print(report.render_latency_figure(figure9(scale), "Figure 9", "self-similar"))
+    print(report.render_latency_figure(figure9(scale, executor=executor), "Figure 9", "self-similar"))
     print()
-    print(report.render_latency_figure(figure10(scale), "Figure 10", "transpose"))
+    print(report.render_latency_figure(figure10(scale, executor=executor), "Figure 10", "transpose"))
     print()
-    print(report.render_fault_figure(figure11(scale), "Figure 11 (critical faults)"))
+    print(report.render_fault_figure(figure11(scale, executor=executor), "Figure 11 (critical faults)"))
     print()
     print(
         report.render_fault_figure(
-            figure12(scale), "Figure 12 (non-critical faults)"
+            figure12(scale, executor=executor), "Figure 12 (non-critical faults)"
         )
     )
     print()
-    print(report.render_figure13(figure13(scale)))
+    print(report.render_figure13(figure13(scale, executor=executor)))
     print()
-    print(report.render_figure14(figure14(scale)))
+    print(report.render_figure14(figure14(scale, executor=executor)))
     print()
-    print(f"Total reproduction time: {time.time() - start:.0f} s")
+    print(f"Total reproduction time: {time.time() - start:.0f} s "
+          f"({executor.simulations_run} simulations run)")
 
 
 if __name__ == "__main__":

@@ -40,11 +40,14 @@ def main() -> None:
             "measure_packets": 700,
         },
     )
-    print(f"Running {sweep.size} configurations ...")
+    print(f"Running {sweep.size} configurations on 2 workers ...")
     records = sweep.run(
-        progress=lambda done, total, result: print(
-            f"  [{done:2d}/{total}] {result.summary_line()}"
-        )
+        workers=2,
+        progress=lambda done, total, record: print(
+            f"  [{done:2d}/{total}] {record['router']:>14s} "
+            f"rate={record['injection_rate']:.2f} seed={record['seed']} "
+            f"lat={record['average_latency']:7.2f} cyc"
+        ),
     )
 
     # Re-run each configuration object through the exporters as full

@@ -1,10 +1,20 @@
-"""Command-line interface: ``python -m repro`` runs one simulation.
+"""Command-line interface: ``python -m repro`` runs simulations.
 
-Examples::
+A single operating point::
 
     python -m repro --router roco --routing xy --rate 0.2
     python -m repro --router generic --traffic transpose --rate 0.15 --size 8
     python -m repro --router roco --faults 2 --fault-class critical
+
+Sweep mode — give several rates and/or seeds and the grid fans out over
+a worker pool with an on-disk result cache (repeat invocations skip
+already-simulated points)::
+
+    python -m repro --router roco --rates 0.05,0.15,0.25 --num-seeds 3 \
+        --workers 0 --cache-dir ~/.cache/repro
+
+``--workers 0`` means "all cores"; parallel runs produce records
+identical to serial ones (see docs/parallel-execution.md).
 """
 
 from __future__ import annotations
@@ -17,6 +27,8 @@ from repro.core.config import SimulationConfig
 from repro.core.simulator import run_simulation
 from repro.core.types import NodeId
 from repro.faults.injector import random_faults
+from repro.harness.parallel import ParallelExecutor, ProgressPrinter, ResultCache
+from repro.harness.sweeps import Sweep
 from repro.routers import ROUTER_CLASSES
 from repro.traffic import TRAFFIC_CLASSES
 
@@ -57,11 +69,55 @@ def build_parser() -> argparse.ArgumentParser:
         default="critical",
         help="Figure-11 (router-centric) vs Figure-12 (message-centric) population",
     )
+    sweep = parser.add_argument_group(
+        "sweep mode", "run a grid of points instead of a single simulation"
+    )
+    sweep.add_argument(
+        "--rates",
+        type=_rate_list,
+        default=None,
+        metavar="R1,R2,...",
+        help="comma-separated injection rates to sweep (overrides --rate)",
+    )
+    sweep.add_argument(
+        "--num-seeds",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sweep N consecutive seeds starting at --seed",
+    )
+    execution = parser.add_argument_group(
+        "execution", "worker pool and result cache (sweep mode)"
+    )
+    execution.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweeps (0 = all cores; default serial)",
+    )
+    execution.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the on-disk result cache (enables caching)",
+    )
+    execution.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir and always simulate",
+    )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _rate_list(text: str) -> list[float]:
+    try:
+        return [float(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad rate list {text!r}") from exc
+
+
+def _run_single(args) -> int:
     config = SimulationConfig(
         width=args.size,
         height=args.size,
@@ -99,6 +155,65 @@ def main(argv: list[str] | None = None) -> int:
         f"{result.cycles} cycles simulated"
     )
     return 0
+
+
+def _run_sweep(args) -> int:
+    if args.faults:
+        print("error: --faults is not supported in sweep mode", file=sys.stderr)
+        return 2
+    rates = args.rates if args.rates else [args.rate]
+    seeds = list(range(args.seed, args.seed + args.num_seeds))
+    sweep = Sweep(
+        axes={"injection_rate": rates, "seed": seeds},
+        base={
+            "width": args.size,
+            "height": args.size,
+            "topology": args.topology,
+            "router": args.router,
+            "routing": args.routing,
+            "traffic": args.traffic,
+            "warmup_packets": args.warmup,
+            "measure_packets": args.packets,
+        },
+    )
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    executor = ParallelExecutor(
+        workers=args.workers, cache=cache, progress=ProgressPrinter()
+    )
+    print(
+        f"sweep: {sweep.size} points ({len(rates)} rates x {len(seeds)} seeds), "
+        f"{executor.workers} worker(s)"
+        + (f", cache at {cache.directory}" if cache else ""),
+        file=sys.stderr,
+    )
+    records = sweep.run(executor=executor)
+    for record in records:
+        print(
+            f"{record['router']:>14s} {record['routing']:>8s} "
+            f"{record['traffic']:>12s} rate={record['injection_rate']:.2f} "
+            f"seed={record['seed']} lat={record['average_latency']:7.2f} cyc "
+            f"tput={record['throughput']:.3f} "
+            f"E/pkt={record['energy_per_packet_nj']:6.3f} nJ"
+        )
+    stats = executor.last_stats
+    print(
+        f"done: {stats.total} points, {stats.simulated} simulated, "
+        f"{stats.cache_hits} from cache, {stats.elapsed_seconds:.1f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.num_seeds < 1:
+        print("error: --num-seeds must be >= 1", file=sys.stderr)
+        return 2
+    if args.rates is not None or args.num_seeds > 1:
+        return _run_sweep(args)
+    return _run_single(args)
 
 
 if __name__ == "__main__":

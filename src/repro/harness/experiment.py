@@ -16,6 +16,7 @@ from repro.core.config import SimulationConfig
 from repro.core.simulator import SimulationResult, run_simulation
 from repro.core.types import NodeId, RoutingMode
 from repro.faults.injector import ComponentFault, random_faults
+from repro.harness.parallel import ParallelExecutor, SimJob
 
 #: Router architectures in the order the paper's figures list them.
 ROUTERS = ("generic", "path_sensitive", "roco")
@@ -101,6 +102,95 @@ def run_point(
     return run_simulation(config, faults=faults)
 
 
+#: A point = one (router, routing, traffic, rate) cell, averaged over
+#: the scale's seeds.  PointSpec is the hashable description of one.
+@dataclass(frozen=True)
+class PointSpec:
+    router: str
+    routing: RoutingMode | str
+    traffic: str
+    injection_rate: float
+
+    def jobs(
+        self,
+        scale: ExperimentScale,
+        faults_per_seed: dict[int, list[ComponentFault]] | None = None,
+    ) -> list[SimJob]:
+        """One job per seed of the scale, in seed order."""
+        jobs = []
+        for seed in scale.seeds:
+            config = SimulationConfig(
+                width=scale.width,
+                height=scale.height,
+                router=self.router,
+                routing=self.routing,
+                traffic=self.traffic,
+                injection_rate=self.injection_rate,
+                warmup_packets=scale.warmup_packets,
+                measure_packets=scale.measure_packets,
+                max_cycles=scale.max_cycles,
+                seed=seed,
+            )
+            faults = faults_per_seed.get(seed) if faults_per_seed else None
+            jobs.append(SimJob.of(config, faults))
+        return jobs
+
+
+#: Metric keys seed-averaged by aggregate_point, straight off the flat
+#: records of repro.harness.export.result_record.
+AVERAGED_METRICS = (
+    "average_latency",
+    "completion_probability",
+    "energy_per_packet_nj",
+    "pef",
+    "throughput",
+    "contention_row",
+    "contention_column",
+    "contention_overall",
+)
+
+
+def aggregate_point(spec: PointSpec, records: list[dict]) -> dict:
+    """Seed-mean of the headline metrics for one point."""
+    n = len(records)
+    point = {
+        "router": spec.router,
+        "routing": str(spec.routing),
+        "traffic": spec.traffic,
+        "injection_rate": spec.injection_rate,
+    }
+    for metric in AVERAGED_METRICS:
+        point[metric] = sum(r[metric] for r in records) / n
+    return point
+
+
+def averaged_points(
+    specs: list[PointSpec],
+    scale: ExperimentScale,
+    faults_per_spec: dict[PointSpec, dict[int, list[ComponentFault]]] | None = None,
+    executor: ParallelExecutor | None = None,
+) -> list[dict]:
+    """Run many points in one batch; one aggregated dict per spec.
+
+    All (spec x seed) simulations are submitted to the executor as a
+    single job list, so a parallel executor keeps every worker busy
+    across the whole grid instead of parallelising one point at a time.
+    The default executor runs serially in-process.
+    """
+    if executor is None:
+        executor = ParallelExecutor()
+    jobs: list[SimJob] = []
+    for spec in specs:
+        faults_per_seed = faults_per_spec.get(spec) if faults_per_spec else None
+        jobs.extend(spec.jobs(scale, faults_per_seed))
+    records = executor.run_jobs(jobs)
+    n = len(scale.seeds)
+    return [
+        aggregate_point(spec, records[i * n : (i + 1) * n])
+        for i, spec in enumerate(specs)
+    ]
+
+
 def averaged_point(
     router: str,
     routing: RoutingMode | str,
@@ -108,33 +198,16 @@ def averaged_point(
     injection_rate: float,
     scale: ExperimentScale,
     faults_per_seed: dict[int, list[ComponentFault]] | None = None,
+    executor: ParallelExecutor | None = None,
 ) -> dict:
     """Average a run point over the scale's seeds.
 
     Returns the seed-mean of the headline metrics; completion-weighted
     where that matters (latency is averaged over delivered packets).
     """
-    results = []
-    for seed in scale.seeds:
-        faults = faults_per_seed.get(seed) if faults_per_seed else None
-        results.append(
-            run_point(router, routing, traffic, injection_rate, scale, seed, faults)
-        )
-    n = len(results)
-    return {
-        "router": router,
-        "routing": str(routing),
-        "traffic": traffic,
-        "injection_rate": injection_rate,
-        "average_latency": sum(r.average_latency for r in results) / n,
-        "completion_probability": sum(r.completion_probability for r in results) / n,
-        "energy_per_packet_nj": sum(r.energy_per_packet_nj for r in results) / n,
-        "pef": sum(r.pef for r in results) / n,
-        "throughput": sum(r.throughput for r in results) / n,
-        "contention_row": sum(r.contention_row for r in results) / n,
-        "contention_column": sum(r.contention_column for r in results) / n,
-        "contention_overall": sum(r.contention_overall for r in results) / n,
-    }
+    spec = PointSpec(router, routing, traffic, injection_rate)
+    faults_per_spec = {spec: faults_per_seed} if faults_per_seed else None
+    return averaged_points([spec], scale, faults_per_spec, executor)[0]
 
 
 def fault_population(

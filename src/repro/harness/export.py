@@ -38,6 +38,9 @@ RESULT_FIELDS = (
     "leakage_energy_j",
     "edp",
     "pef",
+    "contention_row",
+    "contention_column",
+    "contention_overall",
     "cycles",
     "num_faults",
 )
@@ -69,6 +72,9 @@ def result_record(result: SimulationResult) -> dict:
         "leakage_energy_j": result.energy.leakage,
         "edp": result.edp,
         "pef": result.pef,
+        "contention_row": result.contention_row,
+        "contention_column": result.contention_column,
+        "contention_overall": result.contention_overall,
         "cycles": result.cycles,
         "num_faults": len(result.faults),
     }

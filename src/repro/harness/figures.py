@@ -4,6 +4,13 @@ Each function regenerates the data behind one table or figure of the
 paper's evaluation (Section 5) and returns it as plain dictionaries the
 benchmarks assert on and the report module renders.  The experiment
 index in DESIGN.md maps each function to its artifact.
+
+Every simulation-backed runner takes an optional ``executor`` (a
+:class:`~repro.harness.parallel.ParallelExecutor`): the full grid of
+(router, routing, rate, seed) simulations behind a figure is submitted
+as one batch, so a pooled executor saturates every core and a cached
+one replays a previous run without simulating.  The default executor is
+serial and uncached — identical results, one process.
 """
 
 from __future__ import annotations
@@ -16,9 +23,11 @@ from repro.harness.experiment import (
     ROUTINGS,
     STANDARD,
     ExperimentScale,
-    averaged_point,
+    PointSpec,
+    averaged_points,
     fault_population,
 )
+from repro.harness.parallel import ParallelExecutor
 from repro.routers.roco.path_set import table1_summary
 
 #: Operating point of the fault / energy experiments (Section 5.4:
@@ -48,32 +57,45 @@ def figure2(v: int = 3) -> dict:
     return _figure2_inventory(v)
 
 
-def figure3(scale: ExperimentScale = STANDARD) -> dict:
+def figure3(
+    scale: ExperimentScale = STANDARD,
+    executor: ParallelExecutor | None = None,
+) -> dict:
     """Figure 3 — contention probabilities vs offered load.
 
     Panels (a)/(b): row/column input contention under XY routing;
     panel (c): overall contention under adaptive routing.
     """
+    specs = [
+        PointSpec(router, routing, "uniform", rate)
+        for router in ROUTERS
+        for rate in scale.contention_rates
+        for routing in (RoutingMode.XY, RoutingMode.ADAPTIVE)
+    ]
+    points = dict(zip(specs, averaged_points(specs, scale, executor=executor)))
     panels: dict[str, dict[str, list[tuple[float, float]]]] = {
         "row_xy": {},
         "column_xy": {},
         "adaptive": {},
     }
     for router in ROUTERS:
-        xy_curve, ad_curve = [], []
+        row_curve, col_curve, ad_curve = [], [], []
         for rate in scale.contention_rates:
-            xy = averaged_point(router, RoutingMode.XY, "uniform", rate, scale)
-            ad = averaged_point(router, RoutingMode.ADAPTIVE, "uniform", rate, scale)
-            xy_curve.append((rate, xy["contention_row"], xy["contention_column"]))
+            xy = points[PointSpec(router, RoutingMode.XY, "uniform", rate)]
+            ad = points[PointSpec(router, RoutingMode.ADAPTIVE, "uniform", rate)]
+            row_curve.append((rate, xy["contention_row"]))
+            col_curve.append((rate, xy["contention_column"]))
             ad_curve.append((rate, ad["contention_overall"]))
-        panels["row_xy"][router] = [(r, row) for r, row, _ in xy_curve]
-        panels["column_xy"][router] = [(r, col) for r, _, col in xy_curve]
+        panels["row_xy"][router] = row_curve
+        panels["column_xy"][router] = col_curve
         panels["adaptive"][router] = ad_curve
     return panels
 
 
 def latency_figure(
-    traffic: str, scale: ExperimentScale = STANDARD
+    traffic: str,
+    scale: ExperimentScale = STANDARD,
+    executor: ParallelExecutor | None = None,
 ) -> dict[str, dict[str, list[tuple[float, float]]]]:
     """Figures 8/9/10 — average latency vs injection rate.
 
@@ -81,36 +103,66 @@ def latency_figure(
     requested traffic pattern (uniform -> Fig. 8, self-similar -> Fig. 9,
     transpose -> Fig. 10).
     """
+    specs = [
+        PointSpec(router, routing, traffic, rate)
+        for routing in ROUTINGS
+        for router in ROUTERS
+        for rate in scale.rates
+    ]
+    points = dict(zip(specs, averaged_points(specs, scale, executor=executor)))
     out: dict[str, dict[str, list[tuple[float, float]]]] = {}
     for routing in ROUTINGS:
-        per_router: dict[str, list[tuple[float, float]]] = {}
-        for router in ROUTERS:
-            curve = []
-            for rate in scale.rates:
-                point = averaged_point(router, routing, traffic, rate, scale)
-                curve.append((rate, point["average_latency"]))
-            per_router[router] = curve
-        out[routing.value] = per_router
+        out[routing.value] = {
+            router: [
+                (rate, points[PointSpec(router, routing, traffic, rate)]["average_latency"])
+                for rate in scale.rates
+            ]
+            for router in ROUTERS
+        }
     return out
 
 
-def figure8(scale: ExperimentScale = STANDARD) -> dict:
+def figure8(
+    scale: ExperimentScale = STANDARD,
+    executor: ParallelExecutor | None = None,
+) -> dict:
     """Figure 8 — uniform random traffic latency curves."""
-    return latency_figure("uniform", scale)
+    return latency_figure("uniform", scale, executor)
 
 
-def figure9(scale: ExperimentScale = STANDARD) -> dict:
+def figure9(
+    scale: ExperimentScale = STANDARD,
+    executor: ParallelExecutor | None = None,
+) -> dict:
     """Figure 9 — self-similar traffic latency curves."""
-    return latency_figure("self_similar", scale)
+    return latency_figure("self_similar", scale, executor)
 
 
-def figure10(scale: ExperimentScale = STANDARD) -> dict:
+def figure10(
+    scale: ExperimentScale = STANDARD,
+    executor: ParallelExecutor | None = None,
+) -> dict:
     """Figure 10 — transpose traffic latency curves."""
-    return latency_figure("transpose", scale)
+    return latency_figure("transpose", scale, executor)
+
+
+def _fault_populations(
+    scale: ExperimentScale, critical: bool
+) -> dict[int, dict[int, list]]:
+    """``{count: {seed: faults}}`` — identical across architectures."""
+    return {
+        count: {
+            seed: fault_population(scale, count, critical, seed)
+            for seed in scale.seeds
+        }
+        for count in FAULT_COUNTS
+    }
 
 
 def fault_figure(
-    critical: bool, scale: ExperimentScale = STANDARD
+    critical: bool,
+    scale: ExperimentScale = STANDARD,
+    executor: ParallelExecutor | None = None,
 ) -> dict[str, dict[str, dict[int, float]]]:
     """Figures 11/12 — packet completion probability under faults.
 
@@ -119,58 +171,99 @@ def fault_figure(
     non-critical).  Every architecture sees the same fault sites per
     (seed, count).  Returns ``{routing: {router: {n_faults: completion}}}``.
     """
-    out: dict[str, dict[str, dict[int, float]]] = {}
+    populations = _fault_populations(scale, critical)
+    specs, faults_per_spec, cells = [], {}, []
     for routing in ROUTINGS:
-        per_router: dict[str, dict[int, float]] = {}
         for router in ROUTERS:
-            per_count: dict[int, float] = {}
             for count in FAULT_COUNTS:
-                faults_per_seed = {
-                    seed: fault_population(scale, count, critical, seed)
-                    for seed in scale.seeds
-                }
-                point = averaged_point(
-                    router,
-                    routing,
-                    "uniform",
-                    FAULT_INJECTION_RATE,
-                    scale,
-                    faults_per_seed=faults_per_seed,
-                )
-                per_count[count] = point["completion_probability"]
-            per_router[router] = per_count
-        out[routing.value] = per_router
+                # Distinct specs per cell: the spec tuple repeats the
+                # same (router, routing, rate) for every fault count, so
+                # disambiguate by keeping our own (spec index -> cell)
+                # list rather than a spec-keyed dict.
+                spec = PointSpec(router, routing, "uniform", FAULT_INJECTION_RATE)
+                specs.append(spec)
+                cells.append((routing, router, count))
+                faults_per_spec[len(specs) - 1] = populations[count]
+    points = _averaged_points_indexed(specs, scale, faults_per_spec, executor)
+    out: dict[str, dict[str, dict[int, float]]] = {}
+    for (routing, router, count), point in zip(cells, points):
+        out.setdefault(routing.value, {}).setdefault(router, {})[count] = point[
+            "completion_probability"
+        ]
     return out
 
 
-def figure11(scale: ExperimentScale = STANDARD) -> dict:
+def _averaged_points_indexed(
+    specs: list[PointSpec],
+    scale: ExperimentScale,
+    faults_per_index: dict[int, dict[int, list]],
+    executor: ParallelExecutor | None,
+) -> list[dict]:
+    """Like :func:`averaged_points` but faults keyed by spec position.
+
+    Needed when the same PointSpec appears multiple times with different
+    fault populations (the fault figures sweep fault count at one
+    operating point).
+    """
+    from repro.harness.experiment import aggregate_point
+
+    if executor is None:
+        executor = ParallelExecutor()
+    jobs = []
+    for index, spec in enumerate(specs):
+        jobs.extend(spec.jobs(scale, faults_per_index.get(index)))
+    records = executor.run_jobs(jobs)
+    n = len(scale.seeds)
+    return [
+        aggregate_point(spec, records[i * n : (i + 1) * n])
+        for i, spec in enumerate(specs)
+    ]
+
+
+def figure11(
+    scale: ExperimentScale = STANDARD,
+    executor: ParallelExecutor | None = None,
+) -> dict:
     """Figure 11 — completion under router-centric / critical faults."""
-    return fault_figure(critical=True, scale=scale)
+    return fault_figure(critical=True, scale=scale, executor=executor)
 
 
-def figure12(scale: ExperimentScale = STANDARD) -> dict:
+def figure12(
+    scale: ExperimentScale = STANDARD,
+    executor: ParallelExecutor | None = None,
+) -> dict:
     """Figure 12 — completion under message-centric / non-critical faults."""
-    return fault_figure(critical=False, scale=scale)
+    return fault_figure(critical=False, scale=scale, executor=executor)
 
 
-def figure13(scale: ExperimentScale = STANDARD) -> dict[str, dict[str, float]]:
+def figure13(
+    scale: ExperimentScale = STANDARD,
+    executor: ParallelExecutor | None = None,
+) -> dict[str, dict[str, float]]:
     """Figure 13 — energy per packet (nJ) at 30% injection.
 
     Returns ``{traffic: {router: energy_nJ}}``.
     """
-    out: dict[str, dict[str, float]] = {}
-    for traffic in ENERGY_TRAFFICS:
-        out[traffic] = {}
-        for router in ROUTERS:
-            point = averaged_point(
-                router, RoutingMode.XY, traffic, FAULT_INJECTION_RATE, scale
-            )
-            out[traffic][router] = point["energy_per_packet_nj"]
-    return out
+    specs = [
+        PointSpec(router, RoutingMode.XY, traffic, FAULT_INJECTION_RATE)
+        for traffic in ENERGY_TRAFFICS
+        for router in ROUTERS
+    ]
+    points = dict(zip(specs, averaged_points(specs, scale, executor=executor)))
+    return {
+        traffic: {
+            router: points[
+                PointSpec(router, RoutingMode.XY, traffic, FAULT_INJECTION_RATE)
+            ]["energy_per_packet_nj"]
+            for router in ROUTERS
+        }
+        for traffic in ENERGY_TRAFFICS
+    }
 
 
 def figure14(
     scale: ExperimentScale = STANDARD,
+    executor: ParallelExecutor | None = None,
 ) -> dict[str, dict[str, dict[int, dict[str, float]]]]:
     """Figure 14 — PEF and average latency under faults.
 
@@ -178,29 +271,25 @@ def figure14(
     completion, energy}}}}`` with fault classes ``critical`` and
     ``non_critical`` (the figure's panels (a) and (b)).
     """
-    out: dict[str, dict[str, dict[int, dict[str, float]]]] = {}
+    specs, faults_per_index, cells = [], {}, []
     for label, critical in (("critical", True), ("non_critical", False)):
-        out[label] = {}
+        populations = _fault_populations(scale, critical)
         for router in ROUTERS:
-            per_count: dict[int, dict[str, float]] = {}
             for count in FAULT_COUNTS:
-                faults_per_seed = {
-                    seed: fault_population(scale, count, critical, seed)
-                    for seed in scale.seeds
-                }
-                point = averaged_point(
-                    router,
-                    RoutingMode.ADAPTIVE,
-                    "uniform",
-                    FAULT_INJECTION_RATE,
-                    scale,
-                    faults_per_seed=faults_per_seed,
+                specs.append(
+                    PointSpec(
+                        router, RoutingMode.ADAPTIVE, "uniform", FAULT_INJECTION_RATE
+                    )
                 )
-                per_count[count] = {
-                    "pef": point["pef"],
-                    "latency": point["average_latency"],
-                    "completion": point["completion_probability"],
-                    "energy_nj": point["energy_per_packet_nj"],
-                }
-            out[label][router] = per_count
+                cells.append((label, router, count))
+                faults_per_index[len(specs) - 1] = populations[count]
+    points = _averaged_points_indexed(specs, scale, faults_per_index, executor)
+    out: dict[str, dict[str, dict[int, dict[str, float]]]] = {}
+    for (label, router, count), point in zip(cells, points):
+        out.setdefault(label, {}).setdefault(router, {})[count] = {
+            "pef": point["pef"],
+            "latency": point["average_latency"],
+            "completion": point["completion_probability"],
+            "energy_nj": point["energy_per_packet_nj"],
+        }
     return out

@@ -1,0 +1,347 @@
+"""Parallel experiment execution with an on-disk result cache.
+
+Every study in this repository ultimately reduces to "run a list of
+:class:`~repro.core.config.SimulationConfig` points and collect their
+flat records".  This module makes that list embarrassingly parallel:
+
+* :class:`SimJob` — one unit of work (a config plus its optional fault
+  population), picklable so it survives a ``spawn`` worker boundary;
+* :func:`job_key` — a stable content hash of a job, used to key the
+  result cache (and to detect that two jobs are the same experiment);
+* :class:`ResultCache` — a directory of ``<key>.json`` records so a
+  repeated sweep performs zero new simulations;
+* :class:`ParallelExecutor` — fans jobs out over a ``multiprocessing``
+  pool (``spawn`` start method, safe on every platform) and returns
+  records in submission order.
+
+Determinism: a simulation is a pure function of its job — the simulator
+seeds its only RNG from ``config.seed`` and touches no global state —
+so serial and parallel execution produce bit-identical records, and a
+cached record equals the record a fresh run would produce.  The
+equivalence is asserted by ``tests/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import run_simulation
+from repro.faults.injector import ComponentFault
+from repro.harness.export import result_record
+
+#: Bump when record contents or key semantics change; stale cache
+#: entries written under another version are ignored.
+CACHE_VERSION = 1
+
+#: ``progress(done, total, record)`` — invoked after every completed
+#: job (cache hits included), in completion order.
+ProgressCallback = Callable[[int, int, dict], None]
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation to run: a configuration plus its fault population."""
+
+    config: SimulationConfig
+    faults: tuple[ComponentFault, ...] = ()
+
+    @classmethod
+    def of(
+        cls,
+        config: SimulationConfig,
+        faults: Sequence[ComponentFault] | None = None,
+    ) -> "SimJob":
+        return cls(config=config, faults=tuple(faults) if faults else ())
+
+
+def config_payload(config: SimulationConfig) -> dict:
+    """Canonical JSON-friendly description of a configuration.
+
+    Every field that influences simulation output appears here; two
+    configs with equal payloads are the same experiment.
+    """
+    router_config = config.router_config
+    return {
+        "width": config.width,
+        "height": config.height,
+        "topology": config.topology,
+        "router": config.router,
+        "routing": config.routing.value,
+        "traffic": config.traffic,
+        "injection_rate": config.injection_rate,
+        "flits_per_packet": config.flits_per_packet,
+        "warmup_packets": config.warmup_packets,
+        "measure_packets": config.measure_packets,
+        "max_cycles": config.max_cycles,
+        "fault_drop_timeout": config.fault_drop_timeout,
+        "drain_timeout": config.drain_timeout,
+        "seed": config.seed,
+        "router_config": {
+            "vcs_per_port": router_config.vcs_per_port,
+            "buffer_depth": router_config.buffer_depth,
+            "flit_width_bits": router_config.flit_width_bits,
+            "mirror_allocation": router_config.mirror_allocation,
+            "lookahead_routing": router_config.lookahead_routing,
+        },
+    }
+
+
+def _fault_payload(fault: ComponentFault) -> dict:
+    return {
+        "node": [fault.node.x, fault.node.y],
+        "component": fault.component.value,
+        "module": fault.module,
+        "vc_position": fault.vc_position,
+    }
+
+
+def job_key(job: SimJob) -> str:
+    """Stable content hash of a job (hex digest).
+
+    The key covers the cache version, the full config payload and the
+    fault population, so any change to what is simulated changes the
+    key.  Equal jobs always hash equal across processes and sessions
+    (the payload is serialised with sorted keys and no float coercion).
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "config": config_payload(job.config),
+        "faults": [_fault_payload(f) for f in job.faults],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed result cache: one ``<job_key>.json`` per record.
+
+    ``hits`` / ``misses`` / ``stores`` count lookups since construction;
+    tests (and the CLI's cache summary) read them to prove a repeated
+    run performed zero new simulations.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def lookup(self, key: str) -> dict | None:
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["record"]
+
+    def store(self, key: str, record: dict) -> None:
+        payload = {"version": CACHE_VERSION, "key": key, "record": record}
+        tmp = self.path_for(key).with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        tmp.replace(self.path_for(key))
+        self.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def execute_job(job: SimJob) -> dict:
+    """Run one job to completion and flatten it to a record.
+
+    Top-level so it is importable by ``spawn`` workers.
+    """
+    result = run_simulation(job.config, faults=list(job.faults))
+    return result_record(result)
+
+
+def _execute_indexed(indexed: tuple[int, SimJob]) -> tuple[int, dict]:
+    index, job = indexed
+    return index, execute_job(job)
+
+
+def _spawn_supported() -> bool:
+    """Whether ``spawn`` workers can re-import the parent's ``__main__``.
+
+    Spawned children replay the parent's entry point; a REPL / stdin /
+    ``python -c`` parent has none, and the pool would crash-loop trying
+    to import ``<stdin>``.  Fall back to inline execution there instead
+    of hanging (results are identical, just serial).
+    """
+    main = sys.modules.get("__main__")
+    if main is None:
+        return False
+    if getattr(main, "__spec__", None) is not None:
+        return True  # python -m whatever: importable by name
+    main_file = getattr(main, "__file__", None)
+    return main_file is not None and os.path.exists(main_file)
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker count: ``None``/``1`` serial, ``0`` all cores."""
+    if workers is None:
+        return 1
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError("workers must be >= 0 (0 means all cores)")
+    return workers
+
+
+@dataclass
+class ExecutionStats:
+    """What one :meth:`ParallelExecutor.run_jobs` call actually did."""
+
+    total: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+    elapsed_seconds: float = 0.0
+
+
+class ParallelExecutor:
+    """Runs simulation jobs over a worker pool with optional caching.
+
+    ``workers``: ``None`` or ``1`` runs inline in this process (exactly
+    the classic serial path), ``0`` uses every core, ``N`` uses ``N``
+    processes.  ``cache`` is a :class:`ResultCache` (or ``None`` to
+    always simulate).  ``progress`` is called as ``(done, total,
+    record)`` after each completed job, cache hits included.
+
+    ``simulations_run`` accumulates the number of actual simulator
+    invocations across the executor's lifetime; with a warm cache it
+    stays at zero.
+    """
+
+    #: Start method used for worker pools.  ``spawn`` is the only method
+    #: available everywhere and immune to fork-unsafe parent state.
+    start_method = "spawn"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+        self.progress = progress
+        self.simulations_run = 0
+        self.last_stats = ExecutionStats()
+
+    # ------------------------------------------------------------------
+
+    def run_configs(
+        self, configs: Iterable[SimulationConfig]
+    ) -> list[dict]:
+        """Run bare configurations (no faults); records in input order."""
+        return self.run_jobs([SimJob.of(c) for c in configs])
+
+    def run_jobs(self, jobs: Sequence[SimJob]) -> list[dict]:
+        """Run every job; returns one record per job, in input order.
+
+        Cached jobs are served without simulating; the rest go to the
+        pool (or run inline when ``workers`` is 1 or only one job is
+        pending — a pool of one would only add spawn overhead).
+        """
+        jobs = list(jobs)
+        started = time.monotonic()
+        total = len(jobs)
+        records: list[dict | None] = [None] * total
+        done = 0
+        stats = ExecutionStats(total=total)
+
+        pending: list[tuple[int, SimJob]] = []
+        keys: list[str | None] = [None] * total
+        for index, job in enumerate(jobs):
+            if self.cache is not None:
+                keys[index] = job_key(job)
+                cached = self.cache.lookup(keys[index])
+                if cached is not None:
+                    records[index] = cached
+                    stats.cache_hits += 1
+                    done += 1
+                    self._report(done, total, cached)
+                    continue
+            pending.append((index, job))
+
+        for index, record in self._execute(pending):
+            records[index] = record
+            stats.simulated += 1
+            self.simulations_run += 1
+            if self.cache is not None and keys[index] is not None:
+                self.cache.store(keys[index], record)
+            done += 1
+            self._report(done, total, record)
+
+        stats.elapsed_seconds = time.monotonic() - started
+        self.last_stats = stats
+        assert all(r is not None for r in records)
+        return records  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self, pending: list[tuple[int, SimJob]]
+    ) -> Iterable[tuple[int, dict]]:
+        if not pending:
+            return
+        if self.workers <= 1 or len(pending) == 1 or not _spawn_supported():
+            for index, job in pending:
+                yield index, execute_job(job)
+            return
+        context = multiprocessing.get_context(self.start_method)
+        processes = min(self.workers, len(pending))
+        with context.Pool(processes=processes) as pool:
+            yield from pool.imap_unordered(_execute_indexed, pending)
+
+    def _report(self, done: int, total: int, record: dict) -> None:
+        if self.progress is not None:
+            self.progress(done, total, record)
+
+
+class ProgressPrinter:
+    """A ready-made progress callback printing ``done/total`` with ETA.
+
+    The ETA is a linear extrapolation from completed jobs — coarse but
+    honest for homogeneous sweeps.  Writes to ``stream`` (stderr by
+    default) so records on stdout stay machine-readable.
+    """
+
+    def __init__(self, stream=None, label: str = "sweep") -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self._started: float | None = None
+
+    def __call__(self, done: int, total: int, record: dict) -> None:
+        now = time.monotonic()
+        if self._started is None:
+            self._started = now
+        elapsed = now - self._started
+        if done and done < total:
+            eta = elapsed / done * (total - done)
+            tail = f"elapsed {elapsed:6.1f}s eta {eta:6.1f}s"
+        else:
+            tail = f"elapsed {elapsed:6.1f}s"
+        percent = 100.0 * done / total if total else 100.0
+        print(
+            f"[{self.label}] {done}/{total} ({percent:5.1f}%) {tail}",
+            file=self.stream,
+            flush=True,
+        )

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.core.config import SimulationConfig
 from repro.core.simulator import run_simulation
+from repro.harness.parallel import ParallelExecutor
 
 #: Two-sided 95% t-distribution critical values by degrees of freedom.
 #: (Enough entries for typical seed counts; falls back to the normal
@@ -78,22 +79,28 @@ class MetricSummary:
 
 
 def replicate(
-    config: SimulationConfig, seeds: tuple[int, ...] = (1, 2, 3, 4, 5)
+    config: SimulationConfig,
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+    executor: ParallelExecutor | None = None,
 ) -> dict[str, MetricSummary]:
-    """Run ``config`` once per seed; summarise the headline metrics."""
+    """Run ``config`` once per seed; summarise the headline metrics.
+
+    Replications are independent, so an ``executor`` with workers runs
+    them concurrently (and can serve them from its result cache); the
+    summaries are identical to a serial run.
+    """
     if not seeds:
         raise ValueError("replication needs at least one seed")
-    samples: dict[str, list[float]] = {m: [] for m in REPLICATED_METRICS}
-    for seed in seeds:
-        run_config = SimulationConfig(
-            **{**_config_kwargs(config), "seed": seed}
-        )
-        result = run_simulation(run_config)
-        for metric in REPLICATED_METRICS:
-            samples[metric].append(float(getattr(result, metric)))
+    if executor is None:
+        executor = ParallelExecutor()
+    configs = [
+        SimulationConfig(**{**_config_kwargs(config), "seed": seed})
+        for seed in seeds
+    ]
+    records = executor.run_configs(configs)
     return {
-        metric: MetricSummary(metric, tuple(values))
-        for metric, values in samples.items()
+        metric: MetricSummary(metric, tuple(float(r[metric]) for r in records))
+        for metric in REPLICATED_METRICS
     }
 
 

@@ -12,10 +12,10 @@ from __future__ import annotations
 import itertools
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.config import SimulationConfig
-from repro.core.simulator import SimulationResult, run_simulation
-from repro.harness.export import result_record
+from repro.harness.parallel import ParallelExecutor, ResultCache
 
 #: Axis names accepted by Sweep, mapping to SimulationConfig fields.
 AXIS_FIELDS = {
@@ -72,21 +72,32 @@ class Sweep:
 
     def run(
         self,
-        progress: Callable[[int, int, SimulationResult], None] | None = None,
+        progress: Callable[[int, int, dict], None] | None = None,
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+        cache_dir: str | Path | None = None,
+        executor: ParallelExecutor | None = None,
     ) -> list[dict]:
         """Run the grid; returns one flat record per configuration.
 
-        ``progress(done, total, result)`` is called after each run —
-        hook it to print status or stream results to disk.
+        ``progress(done, total, record)`` is called after each completed
+        point (in completion order) — hook it to print status or stream
+        results to disk.  ``workers`` fans the grid out over a process
+        pool (``0`` = all cores; default serial); results are identical
+        to a serial run and come back in grid order either way.
+        ``cache`` / ``cache_dir`` enable the on-disk result cache so
+        repeated runs skip already-simulated points.  A pre-built
+        ``executor`` overrides all three knobs.
         """
-        records = []
-        total = self.size
-        for index, config in enumerate(self.configurations(), start=1):
-            result = run_simulation(config)
-            records.append(result_record(result))
-            if progress is not None:
-                progress(index, total, result)
-        return records
+        if executor is None:
+            if cache is None and cache_dir is not None:
+                cache = ResultCache(cache_dir)
+            executor = ParallelExecutor(
+                workers=workers, cache=cache, progress=progress
+            )
+        elif progress is not None and executor.progress is None:
+            executor.progress = progress
+        return executor.run_configs(self.configurations())
 
 
 def pivot(

@@ -1,0 +1,68 @@
+"""Golden-stats regression tests.
+
+``tests/fixtures/golden_stats.json`` pins the full result record of six
+small reference runs (4x4 mesh, low load, one seed, all three routers
+under XY and adaptive routing).  Any behavioural change to the
+simulator — router pipelines, allocation, routing, energy accounting —
+shows up here as a diff against the recorded numbers.
+
+The tolerances are deliberately tight: the simulator is deterministic,
+so the only slack granted is floating-point noise (1e-9 relative) in
+case summation order ever changes legitimately.  If a change is
+*intended* to alter results, regenerate the fixture (see the module
+docstring of the fixture's ``config`` block for the exact parameters)
+and call the change out in review.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import run_simulation
+from repro.harness.export import result_record
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_stats.json"
+
+#: Relative tolerance for float fields; integers must match exactly.
+REL_TOL = 1e-9
+
+
+def load_fixture() -> dict:
+    return json.loads(FIXTURE.read_text())
+
+
+GOLDEN = load_fixture()
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN["records"]))
+def test_run_matches_golden_record(key):
+    router, routing = key.split("/")
+    config = SimulationConfig(router=router, routing=routing, **GOLDEN["config"])
+    record = result_record(run_simulation(config))
+    expected = GOLDEN["records"][key]
+    assert set(record) == set(expected), "exported fields changed; regenerate fixture"
+    for field, want in expected.items():
+        got = record[field]
+        if isinstance(want, float) and isinstance(got, float):
+            assert got == pytest.approx(want, rel=REL_TOL, abs=1e-12), field
+        else:
+            assert got == want, field
+
+
+def test_fixture_covers_all_routers_and_routings():
+    keys = set(GOLDEN["records"])
+    assert keys == {
+        f"{router}/{routing}"
+        for router in ("generic", "path_sensitive", "roco")
+        for routing in ("xy", "adaptive")
+    }
+
+
+def test_golden_runs_are_healthy():
+    """The pinned runs must stay meaningful: full delivery, no faults."""
+    for key, record in GOLDEN["records"].items():
+        assert record["completion_probability"] == 1.0, key
+        assert record["dropped_packets"] == 0, key
+        assert record["num_faults"] == 0, key

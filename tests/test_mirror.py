@@ -1,5 +1,7 @@
 """Unit and property tests for the Mirroring Effect allocator (Figure 4)."""
 
+import itertools
+
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -109,3 +111,44 @@ class TestMirrorProperties:
         for matrix in matrices:
             grants = alloc.allocate(matrix)
             assert len(grants) == max_possible_matching(matrix)
+
+
+def all_request_matrices(num_vcs: int):
+    """Every possible 2x2x``num_vcs`` boolean request matrix."""
+    cells = 2 * 2 * num_vcs
+    for bits in itertools.product((False, True), repeat=cells):
+        it = iter(bits)
+        yield [[[next(it) for _ in range(num_vcs)] for _ in range(2)] for _ in range(2)]
+
+
+class TestMirrorExhaustive:
+    """Exhaustive check over all 4096 request patterns (2 VCs would be
+    1/8 of the space; the shipped crossbar has 3 VCs per slot)."""
+
+    def test_matching_is_maximum_for_every_pattern(self):
+        """No pattern exists where the allocator leaves capacity unused."""
+        alloc = MirrorAllocator(3)
+        for matrix in all_request_matrices(3):
+            grants = alloc.allocate(matrix)
+            assert len(grants) == max_possible_matching(matrix), matrix
+
+    def test_no_grantable_request_left_ungranted(self):
+        """Maximality, stated locally: any ungranted request conflicts
+        with a grant on its input port or its output slot."""
+        alloc = MirrorAllocator(3)
+        for matrix in all_request_matrices(3):
+            grants = alloc.allocate(matrix)
+            granted_ports = {g.port for g in grants}
+            granted_slots = {g.direction_slot for g in grants}
+            for port, slot, vc in itertools.product(range(2), range(2), range(3)):
+                if matrix[port][slot][vc]:
+                    assert port in granted_ports or slot in granted_slots, (
+                        f"request ({port},{slot},{vc}) grantable but ungranted "
+                        f"in {matrix}"
+                    )
+
+    def test_grants_always_reference_real_requests(self):
+        alloc = MirrorAllocator(3)
+        for matrix in all_request_matrices(3):
+            for g in alloc.allocate(matrix):
+                assert matrix[g.port][g.direction_slot][g.vc_index]

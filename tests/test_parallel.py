@@ -1,0 +1,189 @@
+"""Tests for the parallel executor and its result cache.
+
+The contract under test (docs/parallel-execution.md):
+
+* parallel execution returns record-for-record the same output as
+  serial execution, in the same order;
+* a warm cache serves a repeated run with zero new simulations;
+* cache keys are stable for equal jobs and sensitive to any
+  simulation-relevant difference (config fields, faults).
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.config import RouterConfig, SimulationConfig
+from repro.core.simulator import run_simulation
+from repro.core.types import NodeId
+from repro.faults.injector import random_faults
+from repro.harness.export import result_record
+from repro.harness.parallel import (
+    CACHE_VERSION,
+    ParallelExecutor,
+    ResultCache,
+    SimJob,
+    execute_job,
+    job_key,
+    resolve_workers,
+)
+from repro.harness.sweeps import Sweep
+
+BASE = {
+    "width": 3,
+    "height": 3,
+    "warmup_packets": 10,
+    "measure_packets": 60,
+    "injection_rate": 0.08,
+}
+
+SWEEP_AXES = {"router": ["generic", "roco"], "seed": [1, 2]}
+
+
+def small_config(**overrides) -> SimulationConfig:
+    params = dict(BASE)
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+class TestSerialParallelEquivalence:
+    def test_sweep_records_identical_serial_vs_two_workers(self):
+        """The tentpole proof: workers=2 is bit-identical to serial."""
+        serial = Sweep(axes=SWEEP_AXES, base=BASE).run()
+        parallel = Sweep(axes=SWEEP_AXES, base=BASE).run(workers=2)
+        assert parallel == serial
+
+    def test_executor_preserves_job_order(self):
+        configs = [small_config(seed=s) for s in (5, 3, 9)]
+        records = ParallelExecutor(workers=2).run_configs(configs)
+        assert [r["seed"] for r in records] == [5, 3, 9]
+
+    def test_execute_job_matches_direct_simulation(self):
+        config = small_config(seed=4)
+        assert execute_job(SimJob.of(config)) == result_record(
+            run_simulation(small_config(seed=4))
+        )
+
+
+class TestResultCache:
+    def test_repeated_run_simulates_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = ParallelExecutor(cache=cache)
+        sweep = Sweep(axes=SWEEP_AXES, base=BASE)
+        first = sweep.run(executor=executor)
+        assert executor.simulations_run == sweep.size
+        assert cache.hits == 0 and cache.stores == sweep.size
+
+        second = sweep.run(executor=executor)
+        assert executor.simulations_run == sweep.size  # zero new simulations
+        assert cache.hits == sweep.size
+        assert executor.last_stats.simulated == 0
+        assert executor.last_stats.cache_hits == sweep.size
+        assert second == first
+
+    def test_cache_shared_across_executors(self, tmp_path):
+        config = small_config()
+        ParallelExecutor(cache=ResultCache(tmp_path)).run_configs([config])
+        fresh = ParallelExecutor(cache=ResultCache(tmp_path))
+        records = fresh.run_configs([small_config()])
+        assert fresh.simulations_run == 0
+        assert records == [result_record(run_simulation(small_config()))]
+
+    def test_cached_record_equals_fresh_record(self, tmp_path):
+        """A round-trip through JSON does not perturb any field."""
+        cache = ResultCache(tmp_path)
+        executor = ParallelExecutor(cache=cache)
+        (first,) = executor.run_configs([small_config()])
+        (cached,) = executor.run_configs([small_config()])
+        assert cached == first
+
+    def test_partial_cache_only_simulates_new_points(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = ParallelExecutor(cache=cache)
+        executor.run_configs([small_config(seed=1)])
+        executor.run_configs([small_config(seed=1), small_config(seed=2)])
+        assert executor.simulations_run == 2
+        assert cache.hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = SimJob.of(small_config())
+        cache.path_for(job_key(job)).write_text("{ not json")
+        assert cache.lookup(job_key(job)) is None
+        assert cache.misses == 1
+
+    def test_stale_version_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = SimJob.of(small_config())
+        cache.path_for(job_key(job)).write_text(
+            json.dumps({"version": CACHE_VERSION + 1, "record": {}})
+        )
+        assert cache.lookup(job_key(job)) is None
+
+
+class TestJobKeys:
+    def test_equal_jobs_equal_keys(self):
+        assert job_key(SimJob.of(small_config())) == job_key(
+            SimJob.of(small_config())
+        )
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 2},
+            {"injection_rate": 0.09},
+            {"router": "generic"},
+            {"routing": "adaptive"},
+            {"traffic": "transpose"},
+            {"measure_packets": 61},
+            {"width": 4},
+        ],
+    )
+    def test_any_config_change_changes_key(self, override):
+        assert job_key(SimJob.of(small_config(**override))) != job_key(
+            SimJob.of(small_config())
+        )
+
+    def test_router_config_changes_key(self):
+        tweaked = small_config(
+            router_config=RouterConfig.for_architecture("roco", mirror_allocation=False)
+        )
+        assert job_key(SimJob.of(tweaked)) != job_key(SimJob.of(small_config()))
+
+    def test_faults_change_key(self):
+        nodes = [NodeId(x, y) for y in range(3) for x in range(3)]
+        faults = random_faults(nodes, 1, random.Random(3), critical=True)
+        assert job_key(SimJob.of(small_config(), faults)) != job_key(
+            SimJob.of(small_config())
+        )
+
+
+class TestProgressAndWorkers:
+    def test_progress_reports_every_job_including_cache_hits(self, tmp_path):
+        calls = []
+        cache = ResultCache(tmp_path)
+        executor = ParallelExecutor(
+            cache=cache, progress=lambda done, total, record: calls.append((done, total))
+        )
+        configs = [small_config(seed=s) for s in (1, 2)]
+        executor.run_configs(configs)
+        executor.run_configs(configs)
+        assert calls == [(1, 2), (2, 2), (1, 2), (2, 2)]
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+    def test_faulty_jobs_run_through_executor(self):
+        nodes = [NodeId(x, y) for y in range(3) for x in range(3)]
+        faults = random_faults(nodes, 1, random.Random(7), critical=False)
+        job = SimJob.of(small_config(), faults)
+        (record,) = ParallelExecutor().run_jobs([job])
+        assert record["num_faults"] == 1
+        direct = result_record(run_simulation(small_config(), faults=list(faults)))
+        assert record == direct

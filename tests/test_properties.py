@@ -94,6 +94,44 @@ def test_worms_arrive_in_order_and_complete(params):
         assert seqs == list(range(params["flits_per_packet"]))
 
 
+@given(sim_params)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_packet_conservation_at_measurement_boundaries(params):
+    """Injected == delivered + dropped + in-flight, at every boundary.
+
+    The simulator reports progress at fixed cycle boundaries; at each
+    one we audit the books: every packet ever generated is either
+    delivered, dropped, or still in flight — and the flits physically
+    resident in the system (source queues plus VC buffers) never exceed
+    the flits of in-flight packets.
+    """
+    sim = build(params)
+    delivered: list = []
+    dropped: list = []
+    sim.delivery_listeners.append(delivered.append)
+    sim.drop_listeners.append(dropped.append)
+    boundaries = 0
+
+    def audit(cycle, generated, outstanding):
+        nonlocal boundaries
+        boundaries += 1
+        assert generated == len(delivered) + len(dropped) + outstanding
+        resident = sum(source.backlog for source in sim.sources.values())
+        for router in sim.network.routers.values():
+            for vc in router.all_vcs():
+                resident += len(vc.queue)
+        assert resident <= outstanding * params["flits_per_packet"]
+
+    result = sim.run(progress=audit, progress_every=25)
+    assert boundaries > 0, "run too short to cross a measurement boundary"
+    # Termination is the last boundary: everything is accounted for and
+    # nothing is left resident anywhere.
+    assert result.injected_packets == result.delivered_packets
+    assert len(delivered) == sim._generated
+    assert not dropped
+    assert sum(source.backlog for source in sim.sources.values()) == 0
+
+
 @given(sim_params, st.integers(0, 2))
 @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 def test_latency_at_least_pipeline_minimum(params, _pad):
