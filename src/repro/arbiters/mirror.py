@@ -18,13 +18,12 @@ request unserved (the matching is maximal by construction).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.arbiters.round_robin import RoundRobinArbiter
 
 
-@dataclass(frozen=True)
-class MirrorGrant:
+class MirrorGrant(NamedTuple):
     """One crossbar passage granted for this cycle."""
 
     port: int
@@ -56,33 +55,37 @@ class MirrorAllocator:
         flit wants that output.  Returns at most one grant per port and at
         most one per direction (mirrored), maximising the match count.
         """
-        if len(requests) != 2 or any(len(r) != 2 for r in requests):
+        if len(requests) != 2 or len(requests[0]) != 2 or len(requests[1]) != 2:
             raise ValueError("mirror allocator expects a 2-port, 2-direction matrix")
 
         # Local stage: winning VC per (port, direction), None when idle.
-        local: list[list[int | None]] = [[None, None], [None, None]]
-        for port in range(2):
-            for slot in range(2):
-                if any(requests[port][slot]):
-                    local[port][slot] = self._local[port][slot].grant(
-                        requests[port][slot]
-                    )
+        # Every requesting (port, slot) runs its arbiter — losing slots
+        # still advance rotating priority, exactly as in hardware.
+        p1_req, p2_req = requests
+        local = self._local
+        l00 = local[0][0].grant(p1_req[0]) if True in p1_req[0] else None
+        l01 = local[0][1].grant(p1_req[1]) if True in p1_req[1] else None
+        l10 = local[1][0].grant(p2_req[0]) if True in p2_req[0] else None
+        l11 = local[1][1].grant(p2_req[1]) if True in p2_req[1] else None
 
-        p1_has = [local[0][0] is not None, local[0][1] is not None]
-        p2_has = [local[1][0] is not None, local[1][1] is not None]
+        p2_has = (l10 is not None, l11 is not None)
 
-        grants: list[MirrorGrant] = []
-        if p1_has[0] or p1_has[1]:
-            slot1 = self._choose_port1_slot(p1_has, p2_has)
-            grants.append(MirrorGrant(0, slot1, local[0][slot1]))
-            mirror_slot = 1 - slot1
-            if p2_has[mirror_slot]:
-                grants.append(MirrorGrant(1, mirror_slot, local[1][mirror_slot]))
-        elif p2_has[0] or p2_has[1]:
+        if l00 is not None or l01 is not None:
+            slot1 = self._choose_port1_slot(
+                (l00 is not None, l01 is not None), p2_has
+            )
+            grants = [MirrorGrant(0, slot1, l00 if slot1 == 0 else l01)]
+            if slot1 == 0:
+                if l11 is not None:
+                    grants.append(MirrorGrant(1, 1, l11))
+            elif l10 is not None:
+                grants.append(MirrorGrant(1, 0, l10))
+            return grants
+        if p2_has[0] or p2_has[1]:
             # Port 1 idle: the global arbiter serves port 2 directly.
             slot2 = self._global.grant(p2_has)
-            grants.append(MirrorGrant(1, slot2, local[1][slot2]))
-        return grants
+            return [MirrorGrant(1, slot2, l10 if slot2 == 0 else l11)]
+        return []
 
     def _choose_port1_slot(self, p1_has: list[bool], p2_has: list[bool]) -> int:
         """Pick port 1's direction, maximising the mirrored match count.
@@ -90,17 +93,13 @@ class MirrorAllocator:
         When both directions yield the same match count the 2:1 global
         arbiter's rotating priority breaks the tie fairly.
         """
-        scores = []
-        for slot in range(2):
-            if not p1_has[slot]:
-                scores.append(-1)
-            else:
-                scores.append(1 + (1 if p2_has[1 - slot] else 0))
-        if scores[0] == scores[1]:
-            return self._global.grant([True, True])
-        winner = 0 if scores[0] > scores[1] else 1
+        score0 = (2 if p2_has[1] else 1) if p1_has[0] else -1
+        score1 = (2 if p2_has[0] else 1) if p1_has[1] else -1
+        if score0 == score1:
+            return self._global.grant((True, True))
+        winner = 0 if score0 > score1 else 1
         # Keep the global arbiter's state consistent with the decision.
-        self._global.grant([winner == 0, winner == 1])
+        self._global.grant((winner == 0, winner == 1))
         return winner
 
 

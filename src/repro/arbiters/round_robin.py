@@ -20,13 +20,17 @@ class RoundRobinArbiter(Arbiter):
         self._next = 0
 
     def grant(self, requests: Sequence[bool]) -> int | None:
-        self._check(requests)
         n = self.num_requesters
-        for offset in range(n):
-            idx = (self._next + offset) % n
+        if len(requests) != n:
+            self._check(requests)
+        idx = self._next
+        for _ in range(n):
+            if idx >= n:
+                idx -= n
             if requests[idx]:
-                self._next = (idx + 1) % n
+                self._next = idx + 1 if idx + 1 < n else 0
                 return idx
+            idx += 1
         return None
 
     def peek(self, requests: Sequence[bool]) -> int | None:

@@ -195,7 +195,7 @@ class VirtualChannel:
         """
         flit = self.queue.popleft()
         self.schedule_release(cycle)
-        if is_worm_tail(flit):
+        if flit.closes_worm:
             self.out_dir = None
             self.out_vc = None
             self.active_pid = None

@@ -55,6 +55,7 @@ class Channel(Generic[T]):
 
     @property
     def busy(self) -> bool:
+        """Payloads still on the wire — the receiver must stay awake."""
         return bool(self._in_flight)
 
     def __len__(self) -> int:

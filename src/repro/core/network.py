@@ -1,8 +1,18 @@
 """The 2D-mesh network: router grid, link phases and delivery bookkeeping.
 
-The network advances all routers through the per-cycle phase order of
+The network advances routers through the per-cycle phase order of
 Section 5.1 of DESIGN.md: link delivery, switch traversal, allocation.
 It also owns the run-wide statistics collector and the fault registry.
+
+By default stepping is *activity-driven*: only routers in the active set
+— those holding flits or owing a switch traversal — run their phases.
+Dormant routers are woken by source injections (immediately, the same
+cycle) and by neighbour link launches (via a timed wake scheduled for
+the flit's arrival cycle, so receivers sleep through the wire delay).
+The ``full_sweep=True`` escape hatch restores the original
+step-every-router schedule; both produce bit-identical simulation
+results (see docs/activity-scheduling.md and
+tests/test_activity_scheduler.py).
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Network:
     """A ``width x height`` mesh of homogeneous routers."""
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(self, config: SimulationConfig, full_sweep: bool = False) -> None:
         from repro.routers import make_router  # local import: cycle guard
 
         self.config = config
@@ -32,18 +42,29 @@ class Network:
         self.stats = StatsCollector(num_nodes=config.num_nodes)
         self.cycle = 0
         self.has_faults = False
+        #: Escape hatch: step every router every cycle (the pre-activity
+        #: schedule), used to differentially validate the active-set path.
+        self.full_sweep = full_sweep
+        self.stats.scheduler.full_sweep = full_sweep
         self.routers: dict[NodeId, "BaseRouter"] = {}
         for y in range(config.height):
             for x in range(config.width):
                 node = NodeId(x, y)
                 self.routers[node] = make_router(config.router, node, self)
         self._router_list = list(self.routers.values())
+        #: Timed wakes: cycle -> routers that must rejoin the active set
+        #: at that cycle (a flit launched towards them lands then).
+        self._wake_queue: dict[int, list["BaseRouter"]] = {}
         #: Set by the simulator: callbacks fired on packet completion.
         self.on_packet_delivered = None
         self.on_packet_dropped = None
         #: Optional FlightRecorder (repro.instrumentation.trace); when
         #: attached, routers emit per-flit events.
         self.trace = None
+        #: Optional observer ``(cycle, stepped_routers)`` fired at the end
+        #: of every cycle with the routers that were actually stepped —
+        #: consumed by instrumentation probes and the scheduler tests.
+        self.on_cycle_stepped = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -72,15 +93,82 @@ class Network:
     # Cycle advance
     # ------------------------------------------------------------------
 
+    def schedule_wake(
+        self, router: "BaseRouter", input_dir: Direction, cycle: int
+    ) -> None:
+        """Wake ``router`` at the start of ``cycle`` — a flit lands then
+        on its ``input_dir`` link, so only that link needs draining.
+
+        Launching is the one wake source that can be deferred: a flit
+        spends the link delay on the wire, during which its receiver has
+        nothing to do.  The full-sweep reference path skips the queue
+        entirely — every router is stepped anyway, and keeping the
+        reference free of scheduler bookkeeping keeps its cost equal to
+        the original seed's.
+        """
+        if self.full_sweep:
+            return
+        bucket = self._wake_queue.get(cycle)
+        if bucket is None:
+            self._wake_queue[cycle] = [(router, input_dir)]
+        else:
+            bucket.append((router, input_dir))
+
     def step(self, cycle: int) -> None:
-        """Run one cycle's phases for every router."""
+        """Run one cycle's phases for every *active* router.
+
+        Timed wakes due this cycle are applied first, then the active
+        list is frozen in router-creation (row-major) order — the same
+        relative order the full sweep uses, which keeps cross-router
+        arbitration (competing VC claims on a shared downstream)
+        bit-identical between the two schedulers.  Source injections
+        wake routers before ``step`` runs (the simulator generates
+        traffic first), so a router injected into this cycle allocates
+        this cycle, exactly as under the full sweep.
+        """
         self.cycle = cycle
-        for router in self._router_list:
-            router.deliver_incoming(cycle)
-        for router in self._router_list:
+        if self.full_sweep:
+            stepped = self._router_list
+        else:
+            due = self._wake_queue.pop(cycle, None)
+            if due is not None:
+                for router, input_dir in due:
+                    if router._deliver_due != cycle:
+                        router._deliver_due = cycle
+                        router._due_dirs = [input_dir]
+                    else:
+                        router._due_dirs.append(input_dir)
+                    router.wake()
+            stepped = [r for r in self._router_list if r.active]
+        scheduler = self.stats.scheduler
+        scheduler.cycles += 1
+        scheduler.router_steps += len(stepped)
+        scheduler.router_slots += len(self._router_list)
+        if self.full_sweep:
+            for router in stepped:
+                router.steps_taken += 1
+                router.deliver_incoming(cycle)
+        else:
+            # Every in-flight flit scheduled a wake for its landing cycle
+            # naming the link it lands on, so only routers in this cycle's
+            # wake bucket can have arrivals — and only on their due links.
+            for router in stepped:
+                router.steps_taken += 1
+                if router._deliver_due == cycle:
+                    router.deliver_due(cycle)
+        for router in stepped:
             router.traverse(cycle)
-        for router in self._router_list:
+        for router in stepped:
             router.allocate(cycle)
+        if not self.full_sweep:
+            # Ground-truth drain check after all phases: anything a
+            # purge or refund changed mid-cycle is re-inspected here.
+            for router in stepped:
+                if router.quiescent():
+                    router.active = False
+                    scheduler.sleeps += 1
+        if self.on_cycle_stepped is not None:
+            self.on_cycle_stepped(cycle, stepped)
         self.stats.tick()
 
     # ------------------------------------------------------------------
@@ -101,7 +189,7 @@ class Network:
                               "early" if early else "via crossbar")
         packet.flits_delivered += 1
         self.stats.flit_delivered(packet.measured)
-        if is_worm_tail(flit):
+        if flit.closes_worm:
             packet.delivered_cycle = cycle
             self.stats.packet_delivered(
                 packet,

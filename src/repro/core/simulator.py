@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import SimulationConfig
 from repro.core.network import Network
-from repro.core.statistics import StatsCollector
+from repro.core.statistics import SchedulerCounters, StatsCollector
 from repro.core.types import (
     Flit,
     NodeId,
@@ -67,6 +67,10 @@ class Source:
         self.current.popleft()
         self.vc.reserve_slot(cycle)
         self.vc.push(flit)
+        # Source injection is one of the two scheduler wake events (the
+        # other is an inbound link launch): the router must allocate for
+        # this flit in the current cycle, exactly as under a full sweep.
+        self.router.wake()
         flit.arrival = cycle
         if network.trace is not None:
             from repro.instrumentation.trace import EventKind
@@ -126,6 +130,11 @@ class SimulationResult:
     contention_column: float
     contention_overall: float
     faults: list[ComponentFault] = field(default_factory=list)
+    #: Activity-driven scheduler telemetry (duty cycle, wake/sleep
+    #: counts).  Deliberately *not* part of the exported result record:
+    #: it describes how the run was executed, not what it simulated, and
+    #: it legitimately differs between the two schedulers.
+    scheduler: SchedulerCounters = field(default_factory=SchedulerCounters)
 
     @property
     def energy_per_packet_nj(self) -> float:
@@ -163,10 +172,12 @@ class Simulator:
         config: SimulationConfig,
         traffic: TrafficPattern | None = None,
         faults: list[ComponentFault] | None = None,
+        *,
+        full_sweep: bool = False,
     ) -> None:
         self.config = config
         self.rng = random.Random(config.seed)
-        self.network = Network(config)
+        self.network = Network(config, full_sweep=full_sweep)
         self.traffic = traffic if traffic is not None else make_traffic(config.traffic)
         self.traffic.bind(config, self.rng, self.network.nodes)
         self.faults = list(faults) if faults else []
@@ -176,6 +187,16 @@ class Simulator:
             node: Source(node, self.network.router_at(node))
             for node in self.network.nodes
         }
+        #: Fault state is permanent once applied, so the set of nodes
+        #: able to inject is fixed for the whole run; the per-cycle
+        #: generation loop iterates exactly these, in node order —
+        #: the same rng-draw sequence as filtering inline each cycle.
+        self._gen_sources = [
+            (node, source)
+            for node, source in self.sources.items()
+            if source.router.accepting_any_injection()
+        ]
+        self._source_list = list(self.sources.values())
         self._generated = 0
         self._outstanding = 0
         self._next_pid = 0
@@ -193,7 +214,9 @@ class Simulator:
 
         ``progress(cycle, generated, outstanding)`` is invoked every
         ``progress_every`` cycles — useful for paper-scale runs where a
-        pure-Python simulation takes minutes.
+        pure-Python simulation takes minutes.  The reported counts are
+        *post-step* values: they reflect generation, injection, delivery
+        and drops up to and including ``cycle``.
         """
         config = self.config
         stats = self.network.stats
@@ -201,13 +224,16 @@ class Simulator:
         last_signature = (-1, -1)
         cycle = 0
         for cycle in range(config.max_cycles):
-            if progress is not None and cycle and cycle % progress_every == 0:
-                progress(cycle, self._generated, self._outstanding)
             if self._generated < config.total_packets:
                 self._generate(cycle)
-            for source in self.sources.values():
-                source.inject(self.network, cycle)
+            for source in self._source_list:
+                # Inlined idle filter: inject() on a source with nothing
+                # queued and no worm in flight is a no-op.
+                if source.queue or source.current:
+                    source.inject(self.network, cycle)
             self.network.step(cycle)
+            if progress is not None and cycle and cycle % progress_every == 0:
+                progress(cycle, self._generated, self._outstanding)
 
             signature = (
                 stats.activity.crossbar_traversals + stats.activity.buffer_writes,
@@ -232,12 +258,11 @@ class Simulator:
 
     def _generate(self, cycle: int) -> None:
         config = self.config
-        for node, source in self.sources.items():
+        arrivals = self.traffic.arrivals
+        for node, source in self._gen_sources:
             if self._generated >= config.total_packets:
                 return
-            if not self.network.router_at(node).accepting_any_injection():
-                continue
-            for _ in range(self.traffic.arrivals(node, cycle)):
+            for _ in range(arrivals(node, cycle)):
                 source.queue.append(self._create_packet(node, cycle))
                 if self._generated >= config.total_packets:
                     return
@@ -322,6 +347,7 @@ class Simulator:
             contention_column=stats.contention.column_probability,
             contention_overall=stats.contention.overall_probability,
             faults=self.faults,
+            scheduler=stats.scheduler,
         )
 
 
@@ -329,6 +355,13 @@ def run_simulation(
     config: SimulationConfig,
     traffic: TrafficPattern | None = None,
     faults: list[ComponentFault] | None = None,
+    *,
+    full_sweep: bool = False,
 ) -> SimulationResult:
-    """Convenience one-call entry point: build, run, return the result."""
-    return Simulator(config, traffic=traffic, faults=faults).run()
+    """Convenience one-call entry point: build, run, return the result.
+
+    ``full_sweep=True`` disables activity-driven scheduling and steps
+    every router every cycle — slower, but useful for differential
+    validation of the active-set scheduler.
+    """
+    return Simulator(config, traffic=traffic, faults=faults, full_sweep=full_sweep).run()

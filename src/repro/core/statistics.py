@@ -44,6 +44,38 @@ class ActivityCounters:
 
 
 @dataclass
+class SchedulerCounters:
+    """Activity-driven scheduler bookkeeping (see docs/activity-scheduling.md).
+
+    ``router_steps`` counts routers actually advanced through the
+    pipeline phases; ``router_slots`` counts the router-cycles a full
+    sweep would have spent (``num_routers x cycles``).  Their ratio is
+    the scheduler's *duty cycle* — the fraction of per-router work the
+    active-set scheduler could not avoid.  Under ``full_sweep=True``
+    the two counters are equal by construction.
+    """
+
+    cycles: int = 0
+    router_steps: int = 0
+    router_slots: int = 0
+    wakeups: int = 0
+    sleeps: int = 0
+    full_sweep: bool = False
+
+    @property
+    def duty_cycle(self) -> float:
+        """Stepped router-cycles / available router-cycles, in [0, 1]."""
+        if not self.router_slots:
+            return 0.0
+        return self.router_steps / self.router_slots
+
+    @property
+    def skipped_router_cycles(self) -> int:
+        """Router-cycles the active-set scheduler never had to run."""
+        return self.router_slots - self.router_steps
+
+
+@dataclass
 class ContentionCounters:
     """Crossbar-input contention bookkeeping for Figure 3.
 
@@ -98,6 +130,7 @@ class StatsCollector:
         self.delivered_flits = 0
         self.activity = ActivityCounters()
         self.contention = ContentionCounters()
+        self.scheduler = SchedulerCounters()
         self.measured_cycles = 0
 
     # -- phase control ----------------------------------------------------

@@ -145,6 +145,8 @@ class Flit:
         "lookahead_route",
         "vc_hint",
         "arrival",
+        "is_head",
+        "closes_worm",
     )
 
     def __init__(self, packet: Packet, seq: int, ftype: FlitType) -> None:
@@ -158,10 +160,9 @@ class Flit:
         #: Cycle the flit entered its current buffer (routers without
         #: look-ahead routing charge head flits an RC cycle after this).
         self.arrival = -1
-
-    @property
-    def is_head(self) -> bool:
-        return self.ftype is FlitType.HEAD
+        #: Position flags, precomputed once — read on every pipeline hop.
+        self.is_head = ftype is FlitType.HEAD
+        self.closes_worm = ftype is FlitType.TAIL or seq == packet.size - 1
 
     @property
     def is_tail(self) -> bool:
@@ -213,5 +214,7 @@ def is_worm_tail(flit: Flit) -> bool:
     """True when ``flit`` closes its packet's wormhole.
 
     Handles the single-flit-packet case where the head is also the tail.
+    The flag is derived once at construction (``Flit.closes_worm``); hot
+    paths read the attribute directly.
     """
-    return flit.ftype is FlitType.TAIL or flit.seq == flit.packet.size - 1
+    return flit.closes_worm

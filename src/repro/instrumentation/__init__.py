@@ -8,6 +8,7 @@ from repro.instrumentation.trace import (
     TraceEvent,
 )
 from repro.instrumentation.probes import (
+    ActivityProbe,
     DropProbe,
     DropRecord,
     LatencyMatrixProbe,
@@ -15,6 +16,7 @@ from repro.instrumentation.probes import (
 )
 
 __all__ = [
+    "ActivityProbe",
     "DropProbe",
     "EventKind",
     "FlightRecorder",

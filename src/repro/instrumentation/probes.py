@@ -16,6 +16,56 @@ from repro.core.simulator import Simulator
 from repro.core.types import Direction, NodeId, Packet
 
 
+class ActivityProbe:
+    """Per-cycle and per-node view of the activity-driven scheduler.
+
+    Subscribes to ``Network.on_cycle_stepped`` — the observer the
+    scheduler fires at the end of every cycle with the routers it
+    actually stepped — so the probe sees exactly what the active-set
+    scheduler did, without touching the stepping hot path.  Works under
+    ``full_sweep=True`` as well (every router appears every cycle),
+    which makes the probe's output itself differentially comparable.
+    """
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+        #: Number of routers stepped at each cycle, in cycle order.
+        self.active_counts: list[int] = []
+        #: Cumulative steps per node over the observed window.
+        self.steps_per_node: dict[NodeId, int] = defaultdict(int)
+        if simulator.network.on_cycle_stepped is not None:
+            raise RuntimeError("network already has a cycle observer attached")
+        simulator.network.on_cycle_stepped = self._observe
+
+    def _observe(self, cycle: int, stepped) -> None:
+        self.active_counts.append(len(stepped))
+        per_node = self.steps_per_node
+        for router in stepped:
+            per_node[router.node] += 1
+
+    @property
+    def cycles_observed(self) -> int:
+        return len(self.active_counts)
+
+    def duty_cycle(self) -> float:
+        """Observed stepped fraction of the router-cycle budget."""
+        if not self.active_counts:
+            return 0.0
+        slots = len(self.simulator.network.routers) * len(self.active_counts)
+        return sum(self.active_counts) / slots
+
+    def peak_active(self) -> int:
+        return max(self.active_counts, default=0)
+
+    def idle_cycles(self) -> int:
+        """Cycles in which no router at all needed stepping."""
+        return sum(1 for n in self.active_counts if n == 0)
+
+    def hottest_nodes(self, count: int = 5) -> list[tuple[NodeId, int]]:
+        ranked = sorted(self.steps_per_node.items(), key=lambda item: -item[1])
+        return ranked[:count]
+
+
 class LinkUtilizationProbe:
     """Per-link flit rate over the whole run.
 

@@ -86,6 +86,27 @@ class BaseRouter(abc.ABC):
         #: Whole-router kill switch (generic/Path-Sensitive under any
         #: permanent fault; RoCo only loses a module, see subclass).
         self.dead = False
+        #: Activity-driven scheduling state: only active routers are
+        #: stepped by :meth:`Network.step`.  Routers start dormant and
+        #: are woken by source injections and inbound link launches.
+        self.active = False
+        #: Cycle at which a timed wake (in-flight arrival) is due; the
+        #: active scheduler polls inbound links only on matching cycles,
+        #: and only the links named in ``_due_dirs`` (each launch
+        #: schedules its landing link, so everything else is empty wire).
+        self._deliver_due = -1
+        self._due_dirs: list[Direction] = []
+        #: Cycles this router was actually stepped (scheduler telemetry).
+        self.steps_taken = 0
+        #: Filled by :meth:`wire`: upstream links feeding this router,
+        #: in CARDINALS order (the full-sweep delivery order), and the
+        #: flat VC list the hot-path idle checks iterate.
+        self._in_links: tuple[tuple[Direction, Channel], ...] = ()
+        self._in_link_map: dict[Direction, Channel] = {}
+        self._vc_cache: tuple[VirtualChannel, ...] = ()
+        #: The run-wide activity counters; bound once — the launch and
+        #: accept paths bump these for every flit moved.
+        self._activity = network.stats.activity
         #: Stall start cycles keyed by VC object id, for fault timeouts.
         self._stall_since: dict[int, int] = {}
         #: SA winners computed during allocate(), consumed by the next
@@ -126,6 +147,72 @@ class BaseRouter(abc.ABC):
             neighbor = self.network.router_at(neighbor_node)
             port.downstream = neighbor
             port.dead = not neighbor.accepting(d.opposite)
+        in_links = []
+        for d in CARDINALS:
+            neighbor_node = self.network.neighbor_of(self.node, d)
+            if neighbor_node is None:
+                continue
+            up_port = self.network.router_at(neighbor_node).outputs.get(d.opposite)
+            if up_port is not None:
+                in_links.append((d, up_port.link))
+        self._in_links = tuple(in_links)
+        self._in_link_map = dict(in_links)
+        self._vc_cache = tuple(self.all_vcs())
+
+    # ------------------------------------------------------------------
+    # Activity-driven scheduling hooks (see docs/activity-scheduling.md)
+    # ------------------------------------------------------------------
+
+    def wake(self) -> None:
+        """Put this router in the network's active set for the next step.
+
+        Called by the PE source when it pushes an injection flit (the
+        simulator generates traffic before stepping, so the router
+        allocates the same cycle) and by the network's timed wake queue
+        when an in-flight flit lands.  Idempotent and cheap — the hot
+        path calls it once per launched flit.
+        """
+        if not self.active:
+            self.active = True
+            self.network.stats.scheduler.wakeups += 1
+
+    def quiescent(self) -> bool:
+        """Whether skipping this router's phases is observably a no-op.
+
+        Checked after the allocate phase each cycle; a True verdict puts
+        the router to sleep until the next :meth:`wake`.  The conditions
+        mirror everything a phase could act on eagerly: granted switch
+        passages awaiting traversal and buffered flits.  Everything else
+        is covered by a guaranteed future wake or needs no stepping at
+        all — in-flight arrivals (including early-ejection worms that
+        never touch a VC) carry a timed wake scheduled at launch for
+        their landing cycle, slots reserved by an upstream VC allocator
+        (``expected``) become work only once their flit lands, and
+        pending credit releases refresh lazily on query.
+        """
+        if self._sa_winners:
+            return False
+        for vc in self._vc_cache:
+            if vc.queue:
+                return False
+        return True
+
+    def idle_this_cycle(self) -> bool:
+        """Whether this router's allocate phase has no flit to work on.
+
+        Activity-scheduled routers use this to skip the allocation walk
+        while they are awake only for an arrival still on the wire.  The
+        ``full_sweep`` reference path deliberately never takes the
+        shortcut: it re-runs the original unconditional loops so the
+        differential tests compare the optimised scheduler against the
+        unmodified seed semantics rather than against itself.
+        """
+        if self.network.full_sweep:
+            return False
+        for vc in self._vc_cache:
+            if vc.queue:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Pipeline phases (called by the network each cycle)
@@ -133,14 +220,26 @@ class BaseRouter(abc.ABC):
 
     def deliver_incoming(self, cycle: int) -> None:
         """Phase 1: accept flits that finished link traversal."""
-        for d in CARDINALS:
-            neighbor_node = self.network.neighbor_of(self.node, d)
-            if neighbor_node is None:
-                continue
-            up_port = self.network.router_at(neighbor_node).outputs.get(d.opposite)
-            if up_port is None:
-                continue
-            for flit in up_port.link.deliver(cycle):
+        for d, link in self._in_links:
+            for flit in link.deliver(cycle):
+                self._accept_flit(flit, d, cycle)
+
+    def deliver_due(self, cycle: int) -> None:
+        """Phase 1, active-scheduler variant: drain only due links.
+
+        ``_due_dirs`` names every link with a flit landing this cycle
+        (one entry per launch; a single-lane link lands at most one flit
+        per cycle, so entries are distinct).  Draining them in CARDINALS
+        order keeps multi-link arrival order identical to the full
+        sweep's fixed-order poll.
+        """
+        dirs = self._due_dirs
+        if len(dirs) > 1:
+            dirs.sort()
+        link_map = self._in_link_map
+        for d in dirs:
+            link = link_map[d]
+            for flit in link.deliver(cycle):
                 self._accept_flit(flit, d, cycle)
 
     def _accept_flit(self, flit: Flit, input_dir: Direction, cycle: int) -> None:
@@ -174,7 +273,7 @@ class BaseRouter(abc.ABC):
         if target.faulty:
             # Virtual Queuing handshake penalty (buffer-fault recovery).
             target.hold_until = max(target.hold_until, cycle + 2)
-        self.network.stats.activity.buffer_writes += 1
+        self._activity.buffer_writes += 1
 
     @abc.abstractmethod
     def allocate(self, cycle: int) -> None:
@@ -227,7 +326,7 @@ class BaseRouter(abc.ABC):
         fault-drop timeout: congestion behind a live resource always
         drains eventually.
         """
-        self.network.stats.activity.va_requests += 1
+        self._activity.va_requests += 1
         if out_dir is Direction.LOCAL:
             # Local ejection needs no downstream VC: the PE always sinks.
             vc.out_vc = EJECT
@@ -342,14 +441,18 @@ class BaseRouter(abc.ABC):
         Requests are classified by the output's dimension (row =
         East/West); local ejection is not a crossbar contention point.
         """
-        per_output: dict[Direction, int] = {}
-        for vc in self.all_vcs():
-            if vc.empty:
+        counts = [0, 0, 0, 0]
+        for vc in self._vc_cache or self.all_vcs():
+            if not vc.queue:
                 continue
-            if vc.out_dir is not None and vc.out_dir is not Direction.LOCAL:
-                per_output[vc.out_dir] = per_output.get(vc.out_dir, 0) + 1
+            out_dir = vc.out_dir
+            if out_dir is not None and out_dir is not Direction.LOCAL:
+                counts[out_dir] += 1
         contention = self.network.stats.contention
-        for out_dir, n in per_output.items():
+        for out_dir in CARDINALS:
+            n = counts[out_dir]
+            if not n:
+                continue
             contended = n if n > 1 else 0
             if out_dir.is_row:
                 contention.row_requests += n
@@ -366,7 +469,7 @@ class BaseRouter(abc.ABC):
         """Move the front flit of ``vc`` through the crossbar and out."""
         target = vc.out_vc
         flit = vc.pop(cycle)
-        stats = self.network.stats.activity
+        stats = self._activity
         stats.buffer_reads += 1
         stats.crossbar_traversals += 1
         if out_dir is Direction.LOCAL:
@@ -379,9 +482,16 @@ class BaseRouter(abc.ABC):
             self.network.trace.record(
                 cycle, EventKind.TRAVERSE, flit, self.node, f"-> {out_dir.name}"
             )
-        self.outputs[out_dir].link.send(flit, cycle)
+        port = self.outputs[out_dir]
+        port.link.send(flit, cycle)
+        # The receiver must be stepped when the flit lands; until then it
+        # has nothing to do, so the wake is deferred to the landing cycle
+        # and tagged with the input link the flit arrives on.
+        self.network.schedule_wake(
+            port.downstream, port.input_dir, cycle + port.link.delay
+        )
         stats.link_flits += 1
-        if isinstance(target, VirtualChannel) and is_worm_tail(flit):
+        if flit.closes_worm and isinstance(target, VirtualChannel):
             target.release_owner()
 
     # ------------------------------------------------------------------
@@ -405,7 +515,8 @@ class BaseRouter(abc.ABC):
             self._stall_since.pop(key, None)
 
     def clear_stall(self, vc: VirtualChannel) -> None:
-        self._stall_since.pop(id(vc), None)
+        if self._stall_since:
+            self._stall_since.pop(id(vc), None)
 
     def purge_packet(self, pid: int, cycle: int) -> None:
         """Remove every flit of a dropped packet held in this router."""

@@ -46,6 +46,9 @@ class GenericRouter(BaseRouter):
                 vc.escape = i == 0
                 vcs.append(vc)
             self.ports[d] = vcs
+        #: Flat VC list in port order; built once — the activity
+        #: scheduler's idle checks walk this every active cycle.
+        self._vcs = [vc for d in GENERIC_PORTS for vc in self.ports[d]]
         #: SA stage 1: one v:1 arbiter per input port.
         self._sa_stage1 = {d: RoundRobinArbiter(v) for d in GENERIC_PORTS}
         #: SA stage 2: one 5:1 arbiter per output port.
@@ -58,7 +61,7 @@ class GenericRouter(BaseRouter):
     # ------------------------------------------------------------------
 
     def all_vcs(self) -> list[VirtualChannel]:
-        return [vc for d in GENERIC_PORTS for vc in self.ports[d]]
+        return self._vcs
 
     def vc_candidates(
         self, input_dir: Direction, packet: Packet, escape_only: bool = False
@@ -124,6 +127,12 @@ class GenericRouter(BaseRouter):
 
     def allocate(self, cycle: int) -> None:
         if self.dead:
+            return
+        if self.idle_this_cycle():
+            # Awake only for an in-flight arrival (or freshly woken):
+            # with no buffered flit there is nothing to route, allocate
+            # or arbitrate, and none of the loops below would observe
+            # anything — skip them wholesale.
             return
         stats = self.network.stats
         # RC + VA (in parallel with SA in stage 1; speculation is modelled

@@ -169,6 +169,10 @@ class PathSensitiveRouter(BaseRouter):
     def allocate(self, cycle: int) -> None:
         if self.dead:
             return
+        if self.idle_this_cycle():
+            # Woken for an arrival still on the wire: no buffered flit
+            # means no VA/SA work and no contention to tally — skip.
+            return
         stats = self.network.stats
         va_requests: list = []
         newly_allocated: set[int] = set()

@@ -29,7 +29,12 @@ class RoCoModule:
             raise ValueError(f"unknown module {name!r}")
         self.name = name
         self.directions = MODULE_DIRECTIONS[name]
+        #: direction -> crossbar slot; dict lookup beats tuple.index on
+        #: the per-ready-VC SA request path.
+        self.slot_map = {d: s for s, d in enumerate(self.directions)}
         self.ports: list[list[VirtualChannel]] = [[], []]
+        #: Flat VC view in port order, rebuilt on add; read-hot.
+        self._flat: list[VirtualChannel] = []
         #: The Mirroring Effect allocator, or (ablation) a plain
         #: separable allocator without the maximal-matching guarantee.
         if mirror:
@@ -45,6 +50,7 @@ class RoCoModule:
 
     def add_vc(self, port: int, vc: VirtualChannel) -> None:
         self.ports[port].append(vc)
+        self._flat = self.ports[0] + self.ports[1]
 
     def slot_of(self, direction: Direction) -> int:
         """Crossbar slot index for an output direction of this module."""
@@ -54,7 +60,14 @@ class RoCoModule:
         return direction in self.directions
 
     def all_vcs(self) -> list[VirtualChannel]:
-        return [vc for port in self.ports for vc in port]
+        return self._flat
+
+    def occupied(self) -> bool:
+        """Whether any VC buffers a flit (the module-activity check)."""
+        for vc in self._flat:
+            if vc.queue:
+                return True
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "dead" if self.dead else "alive"

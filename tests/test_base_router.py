@@ -40,6 +40,9 @@ def inject_worm(net, src, dest, pid=0, size=2):
         flit.arrival = -1  # pretend it arrived earlier (RC already done)
     vc.active_pid = packet.pid
     vc.release_owner()
+    # The Source wakes the router on every injection push; a direct VC
+    # push must do the same or the activity scheduler never steps it.
+    router.wake()
     return packet, vc
 
 

@@ -4,7 +4,10 @@
 small reference runs (4x4 mesh, low load, one seed, all three routers
 under XY and adaptive routing).  Any behavioural change to the
 simulator — router pipelines, allocation, routing, energy accounting —
-shows up here as a diff against the recorded numbers.
+shows up here as a diff against the recorded numbers.  Every record is
+checked under both the activity-driven scheduler and the
+``full_sweep=True`` reference schedule, so the fixture also acts as a
+cross-scheduler equivalence anchor.
 
 The tolerances are deliberately tight: the simulator is deterministic,
 so the only slack granted is floating-point noise (1e-9 relative) in
@@ -36,11 +39,14 @@ def load_fixture() -> dict:
 GOLDEN = load_fixture()
 
 
+@pytest.mark.parametrize(
+    "full_sweep", [False, True], ids=["active-scheduler", "full-sweep"]
+)
 @pytest.mark.parametrize("key", sorted(GOLDEN["records"]))
-def test_run_matches_golden_record(key):
+def test_run_matches_golden_record(key, full_sweep):
     router, routing = key.split("/")
     config = SimulationConfig(router=router, routing=routing, **GOLDEN["config"])
-    record = result_record(run_simulation(config))
+    record = result_record(run_simulation(config, full_sweep=full_sweep))
     expected = GOLDEN["records"][key]
     assert set(record) == set(expected), "exported fields changed; regenerate fixture"
     for field, want in expected.items():

@@ -6,6 +6,7 @@ from repro.core.simulator import Simulator
 from repro.core.types import Direction, NodeId
 from repro.faults import Component, ComponentFault
 from repro.instrumentation import (
+    ActivityProbe,
     DropProbe,
     LatencyMatrixProbe,
     LinkUtilizationProbe,
@@ -100,6 +101,57 @@ class TestDropProbe:
         assert len(probe.records) >= result.dropped_packets
         assert all(r.age >= 0 for r in probe.records)
         assert probe.drops_by_destination()
+
+
+class TestActivityProbe:
+    @pytest.fixture(scope="class")
+    def activity_run(self):
+        sim = Simulator(small_config())
+        probe = ActivityProbe(sim)
+        result = sim.run()
+        return sim, probe, result
+
+    def test_observes_every_cycle(self, activity_run):
+        _, probe, result = activity_run
+        assert probe.cycles_observed == result.scheduler.cycles
+
+    def test_duty_cycle_matches_scheduler_counters(self, activity_run):
+        _, probe, result = activity_run
+        duty = probe.duty_cycle()
+        assert 0.0 < duty < 1.0
+        assert duty == pytest.approx(result.scheduler.duty_cycle)
+
+    def test_steps_per_node_match_router_counters(self, activity_run):
+        sim, probe, result = activity_run
+        assert sum(probe.steps_per_node.values()) == result.scheduler.router_steps
+        for node, router in sim.network.routers.items():
+            assert probe.steps_per_node.get(node, 0) == router.steps_taken
+
+    def test_peak_bounded_by_mesh_size(self, activity_run):
+        sim, probe, _ = activity_run
+        assert 0 < probe.peak_active() <= len(sim.network.routers)
+        assert probe.idle_cycles() + sum(
+            1 for n in probe.active_counts if n
+        ) == probe.cycles_observed
+
+    def test_hottest_nodes_sorted(self, activity_run):
+        _, probe, _ = activity_run
+        hottest = probe.hottest_nodes(4)
+        counts = [c for _, c in hottest]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_second_observer_rejected(self, activity_run):
+        sim, *_ = activity_run
+        with pytest.raises(RuntimeError):
+            ActivityProbe(sim)
+
+    def test_full_sweep_duty_is_one(self):
+        sim = Simulator(small_config(measure_packets=60), full_sweep=True)
+        probe = ActivityProbe(sim)
+        sim.run()
+        assert probe.duty_cycle() == 1.0
+        assert probe.idle_cycles() == 0
+        assert probe.peak_active() == len(sim.network.routers)
 
 
 class TestHeatmaps:
