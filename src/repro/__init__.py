@@ -21,13 +21,22 @@ Quickstart::
 from repro.core.config import RouterConfig, SimulationConfig
 from repro.core.simulator import (
     DeadlockError,
+    DrainTimeoutError,
     SimulationResult,
     Simulator,
     run_simulation,
 )
-from repro.core.types import Direction, NodeId, Packet, RoutingMode
+from repro.core.types import Direction, DropReason, NodeId, Packet, RoutingMode
 from repro.energy import EnergyModel, EnergyReport
-from repro.faults import Component, ComponentFault, apply_faults, random_faults
+from repro.faults import (
+    Component,
+    ComponentFault,
+    FaultEvent,
+    FaultSchedule,
+    RuntimeFaultEngine,
+    apply_faults,
+    random_faults,
+)
 from repro.metrics import PEFBreakdown, energy_delay_product, pef
 from repro.routers import ROUTER_CLASSES
 from repro.traffic import TRAFFIC_CLASSES, make_traffic
@@ -39,14 +48,19 @@ __all__ = [
     "ComponentFault",
     "DeadlockError",
     "Direction",
+    "DrainTimeoutError",
+    "DropReason",
     "EnergyModel",
     "EnergyReport",
+    "FaultEvent",
+    "FaultSchedule",
     "NodeId",
     "PEFBreakdown",
     "Packet",
     "ROUTER_CLASSES",
     "RouterConfig",
     "RoutingMode",
+    "RuntimeFaultEngine",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",

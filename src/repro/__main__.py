@@ -27,6 +27,8 @@ from repro.core.config import SimulationConfig
 from repro.core.simulator import run_simulation
 from repro.core.types import NodeId
 from repro.faults.injector import random_faults
+from repro.faults.schedule import FaultSchedule
+from repro.harness.campaign import run_campaign
 from repro.harness.parallel import ParallelExecutor, ProgressPrinter, ResultCache
 from repro.harness.sweeps import Sweep
 from repro.routers import ROUTER_CLASSES
@@ -68,6 +70,36 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["critical", "non-critical"],
         default="critical",
         help="Figure-11 (router-centric) vs Figure-12 (message-centric) population",
+    )
+    campaign = parser.add_argument_group(
+        "fault campaign", "inject faults mid-run instead of before wiring"
+    )
+    campaign.add_argument(
+        "--fault-schedule",
+        default=None,
+        metavar="FILE",
+        help="JSON fault-schedule file (see docs/fault-model.md) to run mid-simulation",
+    )
+    campaign.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        metavar="CYCLES",
+        help="sample --faults arrivals with this mean time between failures",
+    )
+    campaign.add_argument(
+        "--weibull-shape",
+        type=float,
+        default=None,
+        metavar="K",
+        help="Weibull shape for --mtbf arrivals (default: exponential)",
+    )
+    campaign.add_argument(
+        "--transient",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="make scheduled faults transient, healing after this many cycles",
     )
     sweep = parser.add_argument_group(
         "sweep mode", "run a grid of points instead of a single simulation"
@@ -117,7 +149,47 @@ def _rate_list(text: str) -> list[float]:
         raise argparse.ArgumentTypeError(f"bad rate list {text!r}") from exc
 
 
+def _build_schedule(args) -> FaultSchedule | None:
+    """Resolve the campaign flags into a schedule (or None)."""
+    if args.fault_schedule is not None:
+        return FaultSchedule.from_json(args.fault_schedule)
+    if args.mtbf is not None:
+        nodes = [
+            NodeId(x, y) for y in range(args.size) for x in range(args.size)
+        ]
+        return FaultSchedule.sampled(
+            nodes,
+            count=args.faults,
+            seed=args.seed,
+            mtbf=args.mtbf,
+            critical=args.fault_class == "critical",
+            weibull_shape=args.weibull_shape,
+            duration=args.transient,
+        )
+    return None
+
+
+def _campaign_args_valid(args) -> str | None:
+    """Return an error message when the campaign flags are inconsistent."""
+    if args.fault_schedule is not None and args.mtbf is not None:
+        return "--fault-schedule and --mtbf are mutually exclusive"
+    if args.mtbf is not None and args.faults <= 0:
+        return "--mtbf needs --faults N to know how many arrivals to sample"
+    if args.transient is not None and args.transient <= 0:
+        return "--transient must be a positive cycle count"
+    if (
+        args.transient is not None
+        and args.fault_schedule is None
+        and args.mtbf is None
+    ):
+        return "--transient requires --mtbf or --fault-schedule"
+    if args.weibull_shape is not None and args.mtbf is None:
+        return "--weibull-shape requires --mtbf"
+    return None
+
+
 def _run_single(args) -> int:
+    schedule = _build_schedule(args)
     config = SimulationConfig(
         width=args.size,
         height=args.size,
@@ -130,23 +202,36 @@ def _run_single(args) -> int:
         measure_packets=args.packets,
         seed=args.seed,
     )
-    faults = []
-    if args.faults:
-        nodes = [
-            NodeId(x, y) for y in range(args.size) for x in range(args.size)
-        ]
-        faults = random_faults(
-            nodes,
-            args.faults,
-            random.Random(args.seed),
-            critical=args.fault_class == "critical",
-        )
-        for fault in faults:
-            print(
-                f"fault: {fault.component.value} at {fault.node} "
-                f"({fault.module} module)"
+    campaign = None
+    if schedule is not None:
+        for event in schedule:
+            healing = (
+                f", heals at {event.clear_cycle}" if event.transient else ""
             )
-    result = run_simulation(config, faults=faults)
+            print(
+                f"fault @ cycle {event.cycle}: {event.fault.component.value} "
+                f"at {event.fault.node} ({event.fault.module} module){healing}"
+            )
+        campaign = run_campaign(config, schedule)
+        result = campaign.result
+    else:
+        faults = []
+        if args.faults:
+            nodes = [
+                NodeId(x, y) for y in range(args.size) for x in range(args.size)
+            ]
+            faults = random_faults(
+                nodes,
+                args.faults,
+                random.Random(args.seed),
+                critical=args.fault_class == "critical",
+            )
+            for fault in faults:
+                print(
+                    f"fault: {fault.component.value} at {fault.node} "
+                    f"({fault.module} module)"
+                )
+        result = run_simulation(config, faults=faults)
     print(result.summary_line())
     print(
         f"  latency p50/p95/p99: {result.latency.p50:.1f} / "
@@ -154,12 +239,20 @@ def _run_single(args) -> int:
         f"throughput {result.throughput:.3f} flits/node/cycle; "
         f"{result.cycles} cycles simulated"
     )
+    if campaign is not None:
+        for line in campaign.summary_lines():
+            print(f"  {line}")
     return 0
 
 
 def _run_sweep(args) -> int:
-    if args.faults:
-        print("error: --faults is not supported in sweep mode", file=sys.stderr)
+    schedule = _build_schedule(args)
+    if args.faults and schedule is None:
+        print(
+            "error: static --faults is not supported in sweep mode "
+            "(use --mtbf or --fault-schedule for campaigns)",
+            file=sys.stderr,
+        )
         return 2
     rates = args.rates if args.rates else [args.rate]
     seeds = list(range(args.seed, args.seed + args.num_seeds))
@@ -175,6 +268,7 @@ def _run_sweep(args) -> int:
             "warmup_packets": args.warmup,
             "measure_packets": args.packets,
         },
+        schedule=schedule,
     )
     cache = None
     if args.cache_dir and not args.no_cache:
@@ -210,6 +304,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.num_seeds < 1:
         print("error: --num-seeds must be >= 1", file=sys.stderr)
+        return 2
+    campaign_error = _campaign_args_valid(args)
+    if campaign_error is not None:
+        print(f"error: {campaign_error}", file=sys.stderr)
         return 2
     if args.rates is not None or args.num_seeds > 1:
         return _run_sweep(args)

@@ -6,8 +6,10 @@ from repro.core.config import RouterConfig, SimulationConfig
 from repro.core.network import Network
 from repro.core.simulator import (
     DeadlockError,
+    DrainTimeoutError,
     SimulationResult,
     Simulator,
+    StrandedCensus,
     run_simulation,
 )
 from repro.core.statistics import ActivityCounters, ContentionCounters, StatsCollector
@@ -31,6 +33,7 @@ __all__ = [
     "ContentionCounters",
     "DeadlockError",
     "Direction",
+    "DrainTimeoutError",
     "Flit",
     "FlitType",
     "LINK_DELAY",
@@ -43,6 +46,7 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "StatsCollector",
+    "StrandedCensus",
     "VirtualChannel",
     "is_worm_tail",
     "make_packet_flits",

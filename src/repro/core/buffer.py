@@ -53,6 +53,7 @@ class VirtualChannel:
         "out_dir",
         "out_vc",
         "faulty",
+        "dead",
         "hold_until",
         "active_pid",
         "accepts_from",
@@ -79,6 +80,9 @@ class VirtualChannel:
         #: Set by the fault injector; a faulty buffer operates in the
         #: degraded Virtual Queuing mode (see repro.faults.recovery).
         self.faulty = False
+        #: True once the owning module/router died; dead VCs accept no
+        #: traffic and flits arriving off a link into one are dropped.
+        self.dead = False
         #: Earliest cycle at which the front flit may compete for the
         #: switch; models recovery-mechanism handshake penalties.
         self.hold_until = 0
@@ -147,8 +151,19 @@ class VirtualChannel:
 
     def shrink_for_fault(self) -> None:
         """Re-base credits after this buffer is marked faulty (depth -> 1)."""
-        self._available = self.effective_depth - len(self.queue)
-        self._releases.clear()
+        self.rebase_credits()
+
+    def rebase_credits(self) -> None:
+        """Recompute credits from first principles after a capacity change.
+
+        Slots already consumed by buffered flits, by flits committed but
+        still in flight (``expected``) and by releases waiting out the
+        credit round-trip are all accounted for, so the eventual steady
+        state is exactly ``effective_depth`` free slots for an empty VC.
+        """
+        self._available = (
+            self.effective_depth - len(self.queue) - self.expected - len(self._releases)
+        )
 
     # -- admission-side ownership ------------------------------------------
 

@@ -58,5 +58,9 @@ class Channel(Generic[T]):
         """Payloads still on the wire — the receiver must stay awake."""
         return bool(self._in_flight)
 
+    def pending(self) -> list[T]:
+        """Snapshot of payloads still on the wire (runtime fault scans)."""
+        return [payload for _, payload in self._in_flight]
+
     def __len__(self) -> int:
         return len(self._in_flight)

@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING
 from repro.core.config import SimulationConfig
 from repro.core.statistics import StatsCollector
 from repro.core.topology import make_topology
-from repro.core.types import Direction, Flit, NodeId, Packet, is_worm_tail
+from repro.core.types import Direction, DropReason, Flit, NodeId, Packet, is_worm_tail
 from repro.routing import make_routing
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -42,6 +42,9 @@ class Network:
         self.stats = StatsCollector(num_nodes=config.num_nodes)
         self.cycle = 0
         self.has_faults = False
+        #: True once :meth:`wire` ran; static fault injection must happen
+        #: before, runtime injection (repro.faults.runtime) after.
+        self.wired = False
         #: Escape hatch: step every router every cycle (the pre-activity
         #: schedule), used to differentially validate the active-set path.
         self.full_sweep = full_sweep
@@ -65,6 +68,8 @@ class Network:
         #: of every cycle with the routers that were actually stepped —
         #: consumed by instrumentation probes and the scheduler tests.
         self.on_cycle_stepped = None
+        #: Lazily-built routing-aware reachability map (cold paths only).
+        self._reachability = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -85,9 +90,32 @@ class Network:
         return list(self.routers)
 
     def wire(self) -> None:
-        """Finalise neighbour wiring; call after fault injection."""
+        """Finalise neighbour wiring; call after static fault injection."""
         for router in self._router_list:
             router.wire()
+        self.wired = True
+
+    def refresh_handshake(self, node: NodeId) -> None:
+        """Recompute dead-port handshake state around ``node``.
+
+        After a runtime fault (or recovery) changes what ``node`` can
+        accept, its own outward view and every neighbour port pointing at
+        it must be re-evaluated — the same computation :meth:`wire`
+        performs, but scoped to one router's neighbourhood.
+        """
+        from repro.core.types import CARDINALS
+
+        router = self.routers[node]
+        for port in router.outputs.values():
+            if port.downstream is not None:
+                port.dead = not port.downstream.accepting(port.input_dir)
+        for direction in CARDINALS:
+            neighbor = self.neighbor_of(node, direction)
+            if neighbor is None:
+                continue
+            back = self.routers[neighbor].outputs.get(direction.opposite)
+            if back is not None and back.downstream is router:
+                back.dead = not router.accepting(back.input_dir)
 
     # ------------------------------------------------------------------
     # Cycle advance
@@ -199,20 +227,40 @@ class Network:
             if self.on_packet_delivered is not None:
                 self.on_packet_delivered(packet)
 
-    def drop_packet(self, packet: Packet, cycle: int) -> None:
+    def drop_packet(
+        self,
+        packet: Packet,
+        cycle: int,
+        reason: DropReason = DropReason.UNSPECIFIED,
+    ) -> None:
         """Abort a worm network-wide (fault-timeout discard, Section 4.1)."""
         if packet.dropped_cycle is not None or packet.delivered_cycle is not None:
             return
         packet.dropped_cycle = cycle
+        packet.drop_reason = reason
         for router in self._router_list:
             router.purge_packet(packet.pid, cycle)
-        self.stats.packet_dropped(packet, packet.measured)
+        self.stats.packet_dropped(packet, packet.measured, reason)
         if self.on_packet_dropped is not None:
             self.on_packet_dropped(packet)
 
     # ------------------------------------------------------------------
     # Fault-awareness queries (handshake-signal knowledge, Section 4.1)
     # ------------------------------------------------------------------
+
+    @property
+    def reachability(self):
+        """Routing-aware reachability queries (built on first use)."""
+        if self._reachability is None:
+            from repro.faults.reachability import ReachabilityMap
+
+            self._reachability = ReachabilityMap(self)
+        return self._reachability
+
+    def invalidate_reachability(self) -> None:
+        """Forget memoised reachability after a topology change."""
+        if self._reachability is not None:
+            self._reachability.invalidate()
 
     def can_transit(self, node: NodeId, direction: Direction) -> bool:
         """Whether ``node`` can currently forward traffic towards ``direction``."""

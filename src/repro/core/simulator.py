@@ -9,6 +9,7 @@ and the final energy accounting.
 
 from __future__ import annotations
 
+import heapq
 import random
 from collections import deque
 from dataclasses import dataclass, field
@@ -17,6 +18,7 @@ from repro.core.config import SimulationConfig
 from repro.core.network import Network
 from repro.core.statistics import SchedulerCounters, StatsCollector
 from repro.core.types import (
+    DropReason,
     Flit,
     NodeId,
     Packet,
@@ -25,6 +27,8 @@ from repro.core.types import (
 )
 from repro.energy.model import EnergyModel, EnergyReport
 from repro.faults.injector import ComponentFault, apply_faults
+from repro.faults.runtime import RuntimeFaultEngine
+from repro.faults.schedule import FaultSchedule
 from repro.metrics.latency import LatencySummary
 from repro.metrics.pef import pef
 from repro.routing.xyyx import choose_variant
@@ -33,6 +37,48 @@ from repro.traffic import TrafficPattern, make_traffic
 
 class DeadlockError(RuntimeError):
     """Raised when a fault-free network stops making progress entirely."""
+
+
+@dataclass
+class StrandedCensus:
+    """Snapshot of outstanding traffic when a run fails to drain.
+
+    ``per_node`` counts outstanding packets by the node holding them
+    (source queue or buffered flits); ``dead_modules`` maps faulted nodes
+    to their dead granularity (module names, or ``("node",)`` for a
+    whole-router kill); ``unreachable`` counts stranded packets whose
+    destination the reachability pass says cannot be reached any more.
+    """
+
+    outstanding: int
+    per_node: dict[NodeId, int]
+    oldest_age: int
+    dead_modules: dict[NodeId, tuple[str, ...]]
+    unreachable: int
+
+    def describe(self) -> str:
+        hottest = sorted(self.per_node.items(), key=lambda kv: -kv[1])[:5]
+        spots = ", ".join(f"{node}:{count}" for node, count in hottest)
+        dead = ", ".join(
+            f"{node}[{'+'.join(parts)}]"
+            for node, parts in sorted(
+                self.dead_modules.items(), key=lambda kv: (kv[0].y, kv[0].x)
+            )
+        )
+        return (
+            f"{self.outstanding} packets outstanding "
+            f"(oldest {self.oldest_age} cycles, {self.unreachable} unreachable); "
+            f"hottest nodes: {spots or 'none'}; "
+            f"dead: {dead or 'none'}"
+        )
+
+
+class DrainTimeoutError(DeadlockError):
+    """No-progress drain timeout, with a census of the stranded traffic."""
+
+    def __init__(self, message: str, census: StrandedCensus) -> None:
+        super().__init__(f"{message}: {census.describe()}")
+        self.census = census
 
 
 class Source:
@@ -91,7 +137,7 @@ class Source:
             # The packet can never leave this PE (e.g. the only module
             # able to start its route is dead) — it is lost.
             self.queue.popleft()
-            network.drop_packet(packet, cycle)
+            network.drop_packet(packet, cycle, DropReason.INJECTION_BLOCKED)
             return
         admission = self.router.injection_vc_for(packet)
         if admission is None:
@@ -135,6 +181,24 @@ class SimulationResult:
     #: it describes how the run was executed, not what it simulated, and
     #: it legitimately differs between the two schedulers.
     scheduler: SchedulerCounters = field(default_factory=SchedulerCounters)
+    #: Packet-conservation accounting over *all* packets (warm-up
+    #: included), keyed by DropReason value.  Like ``scheduler``, these
+    #: are not part of the exported result record (the record's schema
+    #: is pinned by the golden fixture and the result cache); consumers
+    #: wanting resilience detail read them off the result object or via
+    #: repro.metrics.resilience.PacketAccounting.
+    generated_packets: int = 0
+    total_delivered: int = 0
+    total_dropped: int = 0
+    drops_by_reason: dict = field(default_factory=dict)
+
+    @property
+    def conserved(self) -> bool:
+        """Delivered + dropped(reason) == generated (nothing leaked)."""
+        return (
+            self.generated_packets == self.total_delivered + self.total_dropped
+            and sum(self.drops_by_reason.values()) == self.total_dropped
+        )
 
     @property
     def energy_per_packet_nj(self) -> float:
@@ -173,6 +237,7 @@ class Simulator:
         traffic: TrafficPattern | None = None,
         faults: list[ComponentFault] | None = None,
         *,
+        schedule: FaultSchedule | None = None,
         full_sweep: bool = False,
     ) -> None:
         self.config = config
@@ -187,15 +252,24 @@ class Simulator:
             node: Source(node, self.network.router_at(node))
             for node in self.network.nodes
         }
-        #: Fault state is permanent once applied, so the set of nodes
-        #: able to inject is fixed for the whole run; the per-cycle
-        #: generation loop iterates exactly these, in node order —
-        #: the same rng-draw sequence as filtering inline each cycle.
-        self._gen_sources = [
-            (node, source)
-            for node, source in self.sources.items()
-            if source.router.accepting_any_injection()
-        ]
+        #: Runtime fault campaign.  An empty schedule leaves every hot
+        #: path untouched (the per-cycle check is two falsy deques), so
+        #: campaign-with-no-events runs are bit-identical to plain runs.
+        self.schedule = schedule if schedule else None
+        self._pending_events = deque(self.schedule.events) if self.schedule else deque()
+        self._expiries: list = []  # heap of (clear_cycle, seq, fault)
+        self._expiry_seq = 0
+        if self.schedule is not None:
+            #: pid -> live Packet, so runtime eviction can resolve VC
+            #: ownership claims; maintained only when a schedule exists.
+            self._packet_registry: dict[int, Packet] | None = {}
+            self._fault_engine: RuntimeFaultEngine | None = RuntimeFaultEngine(
+                self.network, self._packet_registry.get
+            )
+        else:
+            self._packet_registry = None
+            self._fault_engine = None
+        self._refresh_gen_sources()
         self._source_list = list(self.sources.values())
         self._generated = 0
         self._outstanding = 0
@@ -206,6 +280,20 @@ class Simulator:
         self.drop_listeners: list = []
         self.network.on_packet_delivered = self._on_packet_delivered
         self.network.on_packet_dropped = self._on_packet_dropped
+
+    def _refresh_gen_sources(self) -> None:
+        """(Re)compute the nodes able to inject, in node order.
+
+        Without a runtime schedule fault state is permanent once applied,
+        so this is computed exactly once; the runtime fault engine calls
+        it again after every event batch, keeping the rng-draw sequence
+        identical to filtering inline each cycle.
+        """
+        self._gen_sources = [
+            (node, source)
+            for node, source in self.sources.items()
+            if source.router.accepting_any_injection()
+        ]
 
     # ------------------------------------------------------------------
 
@@ -224,6 +312,8 @@ class Simulator:
         last_signature = (-1, -1)
         cycle = 0
         for cycle in range(config.max_cycles):
+            if self._pending_events or self._expiries:
+                self._process_fault_events(cycle)
             if self._generated < config.total_packets:
                 self._generate(cycle)
             for source in self._source_list:
@@ -247,12 +337,94 @@ class Simulator:
             if cycle - last_progress_cycle > config.drain_timeout:
                 if self.network.has_faults:
                     break  # The paper's inactivity termination rule.
-                raise DeadlockError(
+                raise DrainTimeoutError(
                     f"no progress for {config.drain_timeout} cycles at cycle "
-                    f"{cycle} with {self._outstanding} packets outstanding"
+                    f"{cycle}",
+                    self.stranded_census(cycle),
                 )
         self._drop_survivors(cycle)
         return self._build_result(cycle + 1)
+
+    # ------------------------------------------------------------------
+    # Runtime fault campaign
+    # ------------------------------------------------------------------
+
+    def _process_fault_events(self, cycle: int) -> None:
+        """Heal due transients and strike due events, in schedule order.
+
+        Runs at the top of the cycle — before generation and injection —
+        so a schedule firing entirely at cycle 0 produces exactly the
+        state a static ``apply_faults`` run starts from.
+        """
+        engine = self._fault_engine
+        touched = False
+        while self._expiries and self._expiries[0][0] <= cycle:
+            _, _, fault = heapq.heappop(self._expiries)
+            engine.clear(fault, cycle)
+            touched = True
+        while self._pending_events and self._pending_events[0].cycle <= cycle:
+            event = self._pending_events.popleft()
+            engine.apply(event.fault, cycle)
+            self.faults.append(event.fault)
+            if event.duration is not None:
+                self._expiry_seq += 1
+                heapq.heappush(
+                    self._expiries,
+                    (cycle + event.duration, self._expiry_seq, event.fault),
+                )
+            touched = True
+        if touched:
+            self._refresh_gen_sources()
+
+    def stranded_census(self, cycle: int) -> StrandedCensus:
+        """Census of outstanding traffic (drain-timeout diagnostics)."""
+        per_node: dict[NodeId, int] = {}
+        oldest: int | None = None
+        unreachable = 0
+        reach = self.network.reachability if self.network.has_faults else None
+
+        def tally(node: NodeId, packet: Packet) -> None:
+            nonlocal oldest, unreachable
+            per_node[node] = per_node.get(node, 0) + 1
+            age = cycle - packet.created_cycle
+            if oldest is None or age > oldest:
+                oldest = age
+            if reach is not None and not reach.reachable(
+                node, packet.dest, packet.yx_first
+            ):
+                unreachable += 1
+
+        for node, source in self.sources.items():
+            for packet in source.queue:
+                tally(node, packet)
+            if source.current:
+                tally(node, source.current[0].packet)
+        counted: set[int] = set()
+        for node, router in self.network.routers.items():
+            for vc in router.all_vcs():
+                for flit in vc.queue:
+                    packet = flit.packet
+                    if packet.pid in counted or packet.dropped_cycle is not None:
+                        continue
+                    counted.add(packet.pid)
+                    tally(node, packet)
+        dead_modules: dict[NodeId, tuple[str, ...]] = {}
+        for node, router in self.network.routers.items():
+            if router.dead:
+                dead_modules[node] = ("node",)
+                continue
+            modules = getattr(router, "modules", None)
+            if modules is not None:
+                dead = tuple(name for name, m in modules.items() if m.dead)
+                if dead:
+                    dead_modules[node] = dead
+        return StrandedCensus(
+            outstanding=self._outstanding,
+            per_node=per_node,
+            oldest_age=oldest if oldest is not None else 0,
+            dead_modules=dead_modules,
+            unreachable=unreachable,
+        )
 
     # ------------------------------------------------------------------
 
@@ -281,6 +453,8 @@ class Simulator:
         self._next_pid += 1
         self._generated += 1
         self._outstanding += 1
+        if self._packet_registry is not None:
+            self._packet_registry[packet.pid] = packet
         packet.measured = self.network.stats.packet_created(packet)
         if self.config.routing is RoutingMode.XY_YX:
             blocked = self.network.node_blocked if self.network.has_faults else None
@@ -289,6 +463,8 @@ class Simulator:
 
     def _on_packet_done(self, packet: Packet) -> None:
         self._outstanding -= 1
+        if self._packet_registry is not None:
+            self._packet_registry.pop(packet.pid, None)
 
     def _on_packet_delivered(self, packet: Packet) -> None:
         self._on_packet_done(packet)
@@ -301,24 +477,42 @@ class Simulator:
             listener(packet)
 
     def _drop_survivors(self, cycle: int) -> None:
-        """Count packets still in flight / queued at termination as lost."""
+        """Count packets still in flight / queued at termination as lost.
+
+        In faulty runs each survivor is classified by the reachability
+        pass: UNREACHABLE when no live routing path to its destination
+        remains (stranded by the topology), UNDELIVERED when a path
+        existed but the run ended first.
+        """
         if self._outstanding == 0:
             return
-        for source in self.sources.values():
+        reach = self.network.reachability if self.network.has_faults else None
+
+        def reason_for(node: NodeId, packet: Packet) -> DropReason:
+            if reach is not None and not reach.reachable(
+                node, packet.dest, packet.yx_first
+            ):
+                return DropReason.UNREACHABLE
+            return DropReason.UNDELIVERED
+
+        for node, source in self.sources.items():
             for packet in list(source.queue):
-                self.network.drop_packet(packet, cycle)
+                self.network.drop_packet(packet, cycle, reason_for(node, packet))
             source.queue.clear()
             if source.current:
-                self.network.drop_packet(source.current[0].packet, cycle)
+                packet = source.current[0].packet
+                self.network.drop_packet(packet, cycle, reason_for(node, packet))
                 source.current = None
                 source.vc = None
         # Anything still threaded through the network.
-        for router in self.network.routers.values():
+        for node, router in self.network.routers.items():
             for vc in router.all_vcs():
                 while vc.queue:
                     flit = vc.queue[0]
                     if flit.packet.dropped_cycle is None:
-                        self.network.drop_packet(flit.packet, cycle)
+                        self.network.drop_packet(
+                            flit.packet, cycle, reason_for(node, flit.packet)
+                        )
                     else:
                         vc.queue.popleft()
         self._outstanding = 0
@@ -348,6 +542,15 @@ class Simulator:
             contention_overall=stats.contention.overall_probability,
             faults=self.faults,
             scheduler=stats.scheduler,
+            generated_packets=self._generated,
+            total_delivered=stats.total_delivered,
+            total_dropped=stats.total_dropped,
+            drops_by_reason={
+                reason.value: count
+                for reason, count in sorted(
+                    stats.drops_by_reason.items(), key=lambda kv: kv[0].value
+                )
+            },
         )
 
 
@@ -356,12 +559,21 @@ def run_simulation(
     traffic: TrafficPattern | None = None,
     faults: list[ComponentFault] | None = None,
     *,
+    schedule: FaultSchedule | None = None,
     full_sweep: bool = False,
 ) -> SimulationResult:
     """Convenience one-call entry point: build, run, return the result.
 
-    ``full_sweep=True`` disables activity-driven scheduling and steps
-    every router every cycle — slower, but useful for differential
-    validation of the active-set scheduler.
+    ``faults`` are applied statically before the run; ``schedule``
+    delivers runtime fault events to the live network mid-run (the two
+    compose).  ``full_sweep=True`` disables activity-driven scheduling
+    and steps every router every cycle — slower, but useful for
+    differential validation of the active-set scheduler.
     """
-    return Simulator(config, traffic=traffic, faults=faults, full_sweep=full_sweep).run()
+    return Simulator(
+        config,
+        traffic=traffic,
+        faults=faults,
+        schedule=schedule,
+        full_sweep=full_sweep,
+    ).run()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.types import Packet
+from repro.core.types import DropReason, Packet
 
 
 @dataclass
@@ -128,6 +128,12 @@ class StatsCollector:
         self.delivered_packets = 0
         self.dropped_packets = 0
         self.delivered_flits = 0
+        #: Conservation totals over *all* packets (warm-up included), so
+        #: generated == total_delivered + total_dropped + in-flight holds
+        #: regardless of the measurement window.
+        self.total_delivered = 0
+        self.total_dropped = 0
+        self.drops_by_reason: dict[DropReason, int] = {}
         self.activity = ActivityCounters()
         self.contention = ContentionCounters()
         self.scheduler = SchedulerCounters()
@@ -155,6 +161,7 @@ class StatsCollector:
     def packet_delivered(
         self, packet: Packet, measured: bool, hops: int | None = None
     ) -> None:
+        self.total_delivered += 1
         if measured:
             self.delivered_packets += 1
             self.latencies.append(packet.latency)
@@ -164,7 +171,13 @@ class StatsCollector:
                 )
             self.hops.append(hops)
 
-    def packet_dropped(self, packet: Packet, measured: bool) -> None:
+    def packet_dropped(
+        self, packet: Packet, measured: bool, reason: DropReason | None = None
+    ) -> None:
+        if reason is None:
+            reason = packet.drop_reason or DropReason.UNSPECIFIED
+        self.total_dropped += 1
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
         if measured:
             self.dropped_packets += 1
 

@@ -68,6 +68,41 @@ class FlitType(enum.IntEnum):
     TAIL = 2
 
 
+class DropReason(enum.Enum):
+    """Why a packet was removed from the network without being delivered.
+
+    Every dropped packet carries exactly one reason, so the conservation
+    invariant (delivered + in-flight + dropped-by-reason == generated)
+    can be audited per cause.  See docs/fault-model.md for the glossary.
+    """
+
+    #: The source PE could not start the worm: the local injection path
+    #: (module or whole router) is dead.
+    INJECTION_BLOCKED = "injection_blocked"
+    #: A head flit stalled on an unallocatable faulty resource past the
+    #: configured ``fault_drop_timeout``.
+    STALL_TIMEOUT = "stall_timeout"
+    #: Flits were buffered inside a module/router when it died; the worm
+    #: was salvaged out of the network at the fault event.
+    BUFFERED_IN_DEAD = "buffered_in_dead"
+    #: A worm stretched across a link/VC that a runtime fault severed
+    #: mid-flight (its head was already committed downstream).
+    ROUTE_SEVERED = "route_severed"
+    #: A flit arrived off a link into a VC that died while it was flying.
+    ARRIVED_AT_DEAD = "arrived_at_dead"
+    #: Evicted when a runtime BUFFER fault shrank its virtual channel to
+    #: the single-slot virtual-queuing mode.
+    FAULT_EVICTED = "fault_evicted"
+    #: Still outstanding at end of run with no live path to its
+    #: destination (reachability classified it as stranded).
+    UNREACHABLE = "unreachable"
+    #: Still outstanding at end of run although a live path existed
+    #: (ran out of simulated cycles / drain budget).
+    UNDELIVERED = "undelivered"
+    #: Dropped by a caller that did not state a cause (external tools).
+    UNSPECIFIED = "unspecified"
+
+
 @dataclass(frozen=True)
 class NodeId:
     """Coordinates of a router in the mesh.
@@ -113,6 +148,8 @@ class Packet:
     injected_cycle: int | None = None
     delivered_cycle: int | None = None
     dropped_cycle: int | None = None
+    #: Why the packet was dropped; None while alive or once delivered.
+    drop_reason: "DropReason | None" = None
     #: Chosen only for XY-YX routing: True when the packet travels Y-first.
     yx_first: bool = False
     #: Number of flits of this packet delivered so far (for integrity checks).

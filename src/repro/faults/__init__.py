@@ -1,6 +1,11 @@
-"""Permanent-fault model, injection and hardware-recycling recovery."""
+"""Fault model: static injection, runtime campaigns and recovery."""
 
-from repro.faults.injector import ComponentFault, apply_faults, random_faults
+from repro.faults.injector import (
+    ComponentFault,
+    apply_faults,
+    module_vc_count,
+    random_faults,
+)
 from repro.faults.model import (
     CLASSIFICATION,
     CRITICAL_FAULT_COMPONENTS,
@@ -11,7 +16,10 @@ from repro.faults.model import (
     Pathway,
     Regime,
 )
+from repro.faults.reachability import ReachabilityMap
 from repro.faults.recovery import is_recoverable, recovery_mechanism
+from repro.faults.runtime import RuntimeFaultEngine
+from repro.faults.schedule import FaultEvent, FaultSchedule
 
 __all__ = [
     "CLASSIFICATION",
@@ -20,10 +28,16 @@ __all__ = [
     "Component",
     "ComponentFault",
     "FaultClass",
+    "FaultEvent",
+    "FaultSchedule",
     "NONCRITICAL_FAULT_COMPONENTS",
     "Pathway",
+    "ReachabilityMap",
     "Regime",
+    "RuntimeFaultEngine",
     "apply_faults",
     "is_recoverable",
+    "module_vc_count",
     "random_faults",
+    "recovery_mechanism",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.core.config import RouterConfig
 from repro.core.network import Network
 from repro.core.types import NodeId
 from repro.faults.model import (
@@ -42,18 +43,29 @@ class ComponentFault:
     vc_position: int = 0
 
 
+def module_vc_count(router_config: RouterConfig | None = None) -> int:
+    """VC buffers per RoCo module: two input ports x ``vcs_per_port``."""
+    if router_config is None:
+        router_config = RouterConfig()
+    return 2 * router_config.vcs_per_port
+
+
 def random_faults(
     nodes: list[NodeId],
     count: int,
     rng: random.Random,
     critical: bool,
     exclude: set[NodeId] | None = None,
+    *,
+    router_config: RouterConfig | None = None,
 ) -> list[ComponentFault]:
     """Draw ``count`` faults at distinct routers.
 
     ``critical`` selects the Figure-11 population (router-centric /
     critical pathway) versus the Figure-12 one (message-centric /
-    non-critical).
+    non-critical).  ``vc_position`` for BUFFER faults is drawn over the
+    per-module VC count implied by ``router_config`` (the default
+    configuration's bound keeps historical seeds reproducible).
     """
     pool = [n for n in nodes if exclude is None or n not in exclude]
     if count > len(pool):
@@ -61,13 +73,14 @@ def random_faults(
     components = (
         CRITICAL_FAULT_COMPONENTS if critical else NONCRITICAL_FAULT_COMPONENTS
     )
+    vc_bound = module_vc_count(router_config)
     chosen = rng.sample(pool, count)
     return [
         ComponentFault(
             node=node,
             component=rng.choice(components),
             module=rng.choice((ROW, COLUMN)),
-            vc_position=rng.randrange(6),
+            vc_position=rng.randrange(vc_bound),
         )
         for node in chosen
     ]
@@ -77,10 +90,19 @@ def apply_faults(network: Network, faults: list[ComponentFault]) -> None:
     """Imprint ``faults`` onto the network's routers.
 
     Must run before :meth:`Network.wire` so the dead-port handshake state
-    the neighbours cache reflects the faults.
+    the neighbours cache reflects the faults; faults arriving *during* a
+    run go through :mod:`repro.faults.runtime` instead, which repairs
+    the cached handshake state and salvages in-flight traffic.
     """
     if not faults:
         return
+    if network.wired:
+        raise RuntimeError(
+            "apply_faults must run before Network.wire: neighbours have "
+            "already cached dead-port handshake state.  Use "
+            "repro.faults.runtime (or a FaultSchedule) to inject faults "
+            "into a live network."
+        )
     network.has_faults = True
     for fault in faults:
         router = network.routers[fault.node]
@@ -88,10 +110,14 @@ def apply_faults(network: Network, faults: list[ComponentFault]) -> None:
         if modules is None:
             # Generic / Path-Sensitive: unified operation, node off-line.
             router.dead = True
+            for vc in router.all_vcs():
+                vc.dead = True
             continue
         module = modules[fault.module]
         if fault.component in (Component.VA, Component.CROSSBAR, Component.MUX_DEMUX):
             module.dead = True
+            for vc in module.all_vcs():
+                vc.dead = True
         elif fault.component is Component.RC:
             module.rc_faulty = True
         elif fault.component is Component.SA:

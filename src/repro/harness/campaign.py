@@ -1,0 +1,80 @@
+"""Fault-campaign runner: one simulation under a runtime fault schedule.
+
+A *campaign* is an ordinary simulation with a
+:class:`~repro.faults.schedule.FaultSchedule` striking mid-run, plus the
+resilience instrumentation a degradation study needs: the conservation
+ledger, service timelines and the delivered-fraction-vs-fault-count
+staircase.  :func:`run_campaign` wires all of that together so callers
+(the CLI, the dynamic-fault benchmark, tests) get one object back.
+
+For fan-out over many schedules use :class:`~repro.harness.parallel`'s
+``SimJob`` with its ``schedule`` field — the result cache keys on the
+schedule payload, so repeated campaigns cost zero new simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import SimulationResult, Simulator
+from repro.faults.schedule import FaultSchedule
+from repro.metrics.resilience import PacketAccounting, ResilienceProbe
+
+
+@dataclass
+class CampaignResult:
+    """A finished fault campaign: the run plus its resilience views."""
+
+    result: SimulationResult
+    accounting: PacketAccounting
+    probe: ResilienceProbe
+    schedule: FaultSchedule
+
+    @property
+    def delivered_fraction(self) -> float:
+        return self.accounting.delivered_fraction
+
+    @property
+    def conserved(self) -> bool:
+        return self.accounting.conserved
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable campaign report (CLI output)."""
+        lines = [
+            f"fault events: {len(self.schedule)} "
+            f"({len(self.schedule.topology_event_cycles)} topology-affecting)",
+            f"packets: {self.accounting.describe()}",
+        ]
+        staircase = self.probe.delivered_by_fault_count()
+        if len(staircase) > 1:
+            steps = ", ".join(
+                f"{point.fault_count} faults -> {point.delivered_fraction:.3f}"
+                for point in staircase
+            )
+            lines.append(f"delivered fraction by cumulative faults: {steps}")
+        return lines
+
+
+def run_campaign(
+    config: SimulationConfig,
+    schedule: FaultSchedule,
+    *,
+    full_sweep: bool = False,
+    window: int = 100,
+) -> CampaignResult:
+    """Run ``config`` under ``schedule`` with resilience instrumentation.
+
+    ``window`` is the timeline bin width in cycles; ``full_sweep``
+    selects the reference scheduler (results are bit-identical either
+    way — asserted by tests/test_runtime_faults.py).
+    """
+    simulator = Simulator(config, schedule=schedule, full_sweep=full_sweep)
+    probe = ResilienceProbe(simulator, window=window)
+    result = simulator.run()
+    return CampaignResult(
+        result=result,
+        accounting=PacketAccounting.from_result(result),
+        probe=probe,
+        schedule=schedule,
+    )

@@ -36,6 +36,7 @@ from pathlib import Path
 from repro.core.config import SimulationConfig
 from repro.core.simulator import run_simulation
 from repro.faults.injector import ComponentFault
+from repro.faults.schedule import FaultSchedule
 from repro.harness.export import result_record
 
 #: Bump when record contents or key semantics change; stale cache
@@ -49,18 +50,30 @@ ProgressCallback = Callable[[int, int, dict], None]
 
 @dataclass(frozen=True)
 class SimJob:
-    """One simulation to run: a configuration plus its fault population."""
+    """One simulation to run: a configuration plus its fault population.
+
+    ``faults`` are applied statically before wiring; ``schedule`` is a
+    runtime fault campaign consumed mid-run.  Both are part of the cache
+    key, but the key of a schedule-free job is unchanged from earlier
+    versions so existing caches stay valid.
+    """
 
     config: SimulationConfig
     faults: tuple[ComponentFault, ...] = ()
+    schedule: FaultSchedule | None = None
 
     @classmethod
     def of(
         cls,
         config: SimulationConfig,
         faults: Sequence[ComponentFault] | None = None,
+        schedule: FaultSchedule | None = None,
     ) -> "SimJob":
-        return cls(config=config, faults=tuple(faults) if faults else ())
+        return cls(
+            config=config,
+            faults=tuple(faults) if faults else (),
+            schedule=schedule if schedule else None,
+        )
 
 
 def config_payload(config: SimulationConfig) -> dict:
@@ -117,6 +130,10 @@ def job_key(job: SimJob) -> str:
         "config": config_payload(job.config),
         "faults": [_fault_payload(f) for f in job.faults],
     }
+    if job.schedule is not None:
+        # Only present for campaign jobs, so schedule-free keys (and any
+        # cache built from them) are byte-identical to prior versions.
+        payload["schedule"] = job.schedule.to_payload()
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -168,7 +185,9 @@ def execute_job(job: SimJob) -> dict:
 
     Top-level so it is importable by ``spawn`` workers.
     """
-    result = run_simulation(job.config, faults=list(job.faults))
+    result = run_simulation(
+        job.config, faults=list(job.faults), schedule=job.schedule
+    )
     return result_record(result)
 
 

@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.config import SimulationConfig
-from repro.harness.parallel import ParallelExecutor, ResultCache
+from repro.faults.schedule import FaultSchedule
+from repro.harness.parallel import ParallelExecutor, ResultCache, SimJob
 
 #: Axis names accepted by Sweep, mapping to SimulationConfig fields.
 AXIS_FIELDS = {
@@ -47,6 +48,10 @@ class Sweep:
 
     axes: dict[str, list]
     base: dict = field(default_factory=dict)
+    #: Optional runtime fault campaign applied to *every* grid point —
+    #: the shape degradation studies want (identical fault timeline,
+    #: varying architecture/rate).  Part of each job's cache key.
+    schedule: FaultSchedule | None = None
 
     def __post_init__(self) -> None:
         unknown = set(self.axes) - set(AXIS_FIELDS)
@@ -97,7 +102,14 @@ class Sweep:
             )
         elif progress is not None and executor.progress is None:
             executor.progress = progress
-        return executor.run_configs(self.configurations())
+        if self.schedule is None:
+            return executor.run_configs(self.configurations())
+        return executor.run_jobs(
+            [
+                SimJob.of(config, schedule=self.schedule)
+                for config in self.configurations()
+            ]
+        )
 
 
 def pivot(

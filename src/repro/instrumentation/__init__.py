@@ -13,6 +13,8 @@ from repro.instrumentation.probes import (
     DropRecord,
     LatencyMatrixProbe,
     LinkUtilizationProbe,
+    WatchdogAlarm,
+    WatchdogProbe,
 )
 
 __all__ = [
@@ -25,6 +27,8 @@ __all__ = [
     "DropRecord",
     "LatencyMatrixProbe",
     "LinkUtilizationProbe",
+    "WatchdogAlarm",
+    "WatchdogProbe",
     "render_grid",
     "render_legend",
     "render_shaded",

@@ -181,3 +181,83 @@ class DropProbe:
         for record in self.records:
             out[record.src] += 1
         return dict(out)
+
+
+@dataclass
+class WatchdogAlarm:
+    """One no-progress alarm: when it fired and what the network looked like."""
+
+    cycle: int
+    stalled_for: int
+    active_routers: int
+
+    @property
+    def livelock_suspected(self) -> bool:
+        """Routers kept stepping without delivering — spinning, not stuck."""
+        return self.active_routers > 0
+
+
+class WatchdogProbe:
+    """Deadlock/livelock watchdog for fault campaigns.
+
+    Subscribes to ``Network.on_cycle_stepped`` (the same single-observer
+    hook :class:`ActivityProbe` uses) plus the simulator's delivery and
+    drop listeners.  *Progress* is any packet leaving the network —
+    delivered or dropped; a stretch of ``stall_window`` cycles in which
+    routers are still being stepped but nothing leaves raises one alarm
+    (re-armed by the next progress event).  Stepping-without-progress is
+    exactly the signature that separates a livelocked or deadlocked
+    post-fault network from a merely idle one: an idle network has no
+    active routers, so it never alarms.
+
+    The probe only observes — the simulator's own drain timeout remains
+    the mechanism that aborts a wedged run (now with a stranded-packet
+    census via :class:`~repro.core.simulator.DrainTimeoutError`).
+    """
+
+    def __init__(self, simulator: Simulator, stall_window: int = 500) -> None:
+        if stall_window <= 0:
+            raise ValueError("stall_window must be positive")
+        self.simulator = simulator
+        self.stall_window = stall_window
+        self.alarms: list[WatchdogAlarm] = []
+        self.max_stall = 0
+        self._progress_events = 0
+        self._seen_progress_events = 0
+        self._last_progress_cycle = 0
+        self._armed = True
+        if simulator.network.on_cycle_stepped is not None:
+            raise RuntimeError("network already has a cycle observer attached")
+        simulator.network.on_cycle_stepped = self._observe
+        simulator.delivery_listeners.append(self._on_progress)
+        simulator.drop_listeners.append(self._on_progress)
+
+    def _on_progress(self, packet: Packet) -> None:
+        self._progress_events += 1
+
+    def _observe(self, cycle: int, stepped) -> None:
+        if self._progress_events > self._seen_progress_events:
+            self._seen_progress_events = self._progress_events
+            self._last_progress_cycle = cycle
+            self._armed = True
+            return
+        if not stepped:
+            # Idle network: nothing in flight, nothing to watch.
+            self._last_progress_cycle = cycle
+            return
+        stalled_for = cycle - self._last_progress_cycle
+        if stalled_for > self.max_stall:
+            self.max_stall = stalled_for
+        if self._armed and stalled_for >= self.stall_window:
+            self.alarms.append(
+                WatchdogAlarm(
+                    cycle=cycle,
+                    stalled_for=stalled_for,
+                    active_routers=len(stepped),
+                )
+            )
+            self._armed = False
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.alarms)

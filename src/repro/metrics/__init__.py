@@ -1,4 +1,4 @@
-"""Evaluation metrics: latency summaries, EDP/PDP and the PEF metric."""
+"""Evaluation metrics: latency, EDP/PDP, PEF and fault-campaign resilience."""
 
 from repro.metrics.latency import LatencySummary, percentile
 from repro.metrics.pef import (
@@ -7,10 +7,22 @@ from repro.metrics.pef import (
     pef,
     power_delay_product,
 )
+from repro.metrics.resilience import (
+    FaultCountPoint,
+    PacketAccounting,
+    ResilienceProbe,
+    WindowPoint,
+    degradation_curve,
+)
 
 __all__ = [
+    "FaultCountPoint",
     "LatencySummary",
     "PEFBreakdown",
+    "PacketAccounting",
+    "ResilienceProbe",
+    "WindowPoint",
+    "degradation_curve",
     "energy_delay_product",
     "pef",
     "percentile",

@@ -25,6 +25,7 @@ from repro.core.channel import Channel
 from repro.core.types import (
     CARDINALS,
     Direction,
+    DropReason,
     Flit,
     NodeId,
     Packet,
@@ -252,6 +253,12 @@ class BaseRouter(abc.ABC):
             if isinstance(target, VirtualChannel):
                 target.refund_slot()
                 target.expected -= 1
+            return
+        if isinstance(target, VirtualChannel) and target.dead:
+            # The VC died (runtime fault) while this flit was flying.
+            target.refund_slot()
+            target.expected -= 1
+            self.network.drop_packet(packet, cycle, DropReason.ARRIVED_AT_DEAD)
             return
         flit.route = flit.lookahead_route
         flit.lookahead_route = None
@@ -511,7 +518,9 @@ class BaseRouter(abc.ABC):
         if cycle - start >= self.network.config.fault_drop_timeout:
             front = vc.front
             if front is not None:
-                self.network.drop_packet(front.packet, cycle)
+                self.network.drop_packet(
+                    front.packet, cycle, DropReason.STALL_TIMEOUT
+                )
             self._stall_since.pop(key, None)
 
     def clear_stall(self, vc: VirtualChannel) -> None:
@@ -537,6 +546,17 @@ class BaseRouter(abc.ABC):
                 vc.out_dir = None
                 vc.out_vc = None
                 vc.active_pid = None
+
+    def reroute_after_fault(self, vc: VirtualChannel) -> None:
+        """Recompute a committed look-ahead route invalidated by a fault.
+
+        Called by the runtime fault engine for worms whose head sits in
+        ``vc`` with a pre-computed route that a topology event just
+        killed.  Architectures that compute routes locally on arrival
+        (generic, Path-Sensitive) self-heal in their next allocate pass,
+        so the default is a no-op; RoCo overrides this because its
+        look-ahead routes are committed upstream.
+        """
 
     @abc.abstractmethod
     def all_vcs(self) -> list[VirtualChannel]:

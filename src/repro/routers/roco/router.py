@@ -314,6 +314,52 @@ class RoCoRouter(BaseRouter):
                 vc = module.ports[grant.port][grant.vc_index]
                 self._commit_switch_grant(vc, cycle)
 
+    # ------------------------------------------------------------------
+    # Runtime fault reaction
+    # ------------------------------------------------------------------
+
+    def _route_viable(self, route: Direction, packet: Packet) -> bool:
+        """Whether a committed look-ahead route can still make progress."""
+        if route is Direction.LOCAL:
+            return True
+        port = self.outputs.get(route)
+        if port is None or port.dead or port.downstream is None:
+            return False
+        # vc_candidates filters structurally (dead modules, class
+        # admission) — an empty list is a hard block, not congestion.
+        return bool(port.downstream.vc_candidates(port.input_dir, packet))
+
+    def reroute_after_fault(self, vc: VirtualChannel) -> None:
+        """Recompute a guided-flit-queuing route that a fault invalidated.
+
+        The replacement must be drivable by the module already buffering
+        the worm — flits cannot migrate between the decoupled modules —
+        so this mostly helps adaptive routing, where a productive
+        same-dimension alternative can exist.  Worms with no viable
+        alternative are left to the stall-timeout discard, matching the
+        static fault model's behaviour.
+        """
+        front = vc.front
+        if front is None or not front.is_head or vc.allocated:
+            return
+        route = front.route
+        if route is None or route is Direction.LOCAL:
+            return
+        packet = front.packet
+        if self._route_viable(route, packet):
+            return
+        module = next(
+            (m for m in self.modules.values() if vc in m.all_vcs()), None
+        )
+        if module is None or module.dead:
+            return
+        for candidate in self.routing.candidates(self.node, packet):
+            if candidate is route or not module.handles(candidate):
+                continue
+            if self._route_viable(candidate, packet):
+                front.route = candidate
+                return
+
     def _request_worm_allocation(
         self, module: RoCoModule, vc: VirtualChannel, cycle: int, va_requests: list
     ) -> None:

@@ -9,10 +9,12 @@ from repro.faults import Component, ComponentFault, apply_faults
 from repro.routers.roco.path_set import ROW
 
 
-def network(router="roco", **overrides):
+def network(router="roco", faults=None, **overrides):
     params = {"width": 4, "height": 4, "router": router}
     params.update(overrides)
     net = Network(SimulationConfig(**params))
+    if faults:
+        apply_faults(net, faults)
     net.wire()
     return net
 
@@ -94,9 +96,9 @@ class TestFaultQueries:
         assert net.can_transit(NodeId(1, 1), Direction.EAST)
 
     def test_roco_dead_module_blocks_one_dimension(self):
-        net = network("roco")
-        apply_faults(
-            net, [ComponentFault(NodeId(1, 1), Component.CROSSBAR, module=ROW)]
+        net = network(
+            "roco",
+            faults=[ComponentFault(NodeId(1, 1), Component.CROSSBAR, module=ROW)],
         )
         assert not net.can_transit(NodeId(1, 1), Direction.EAST)
         assert not net.can_transit(NodeId(1, 1), Direction.WEST)
@@ -104,11 +106,19 @@ class TestFaultQueries:
         assert net.node_blocked(NodeId(1, 1))
 
     def test_generic_dead_node_blocks_everything(self):
-        net = network("generic")
-        apply_faults(net, [ComponentFault(NodeId(2, 2), Component.SA)])
+        net = network(
+            "generic", faults=[ComponentFault(NodeId(2, 2), Component.SA)]
+        )
         for d in (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST):
             assert not net.can_transit(NodeId(2, 2), d)
         assert net.node_blocked(NodeId(2, 2))
+
+    def test_apply_faults_after_wire_raises(self):
+        net = network("roco")
+        with pytest.raises(RuntimeError, match="before Network.wire"):
+            apply_faults(
+                net, [ComponentFault(NodeId(1, 1), Component.VA, module=ROW)]
+            )
 
     def test_wire_after_faults_marks_dead_ports(self):
         net = Network(SimulationConfig(width=4, height=4, router="generic"))

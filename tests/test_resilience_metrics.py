@@ -1,0 +1,220 @@
+"""Tests for resilience metrics, the campaign runner and the watchdog."""
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.core.types import NodeId
+from repro.faults import Component, ComponentFault, FaultSchedule
+from repro.harness.campaign import run_campaign
+from repro.harness.parallel import ResultCache, SimJob, execute_job, job_key
+from repro.instrumentation import WatchdogProbe
+from repro.metrics.resilience import (
+    PacketAccounting,
+    ResilienceProbe,
+    degradation_curve,
+)
+
+from .conftest import small_config
+
+
+def center_kill(cycle, duration=None):
+    return FaultSchedule.at_cycle(
+        cycle, [ComponentFault(NodeId(1, 1), Component.VA, "row")], duration
+    )
+
+
+class TestPacketAccounting:
+    def test_from_fault_free_result(self, baseline_results):
+        accounting = PacketAccounting.from_result(baseline_results["roco"])
+        assert accounting.conserved
+        assert accounting.generated > 0
+        assert accounting.delivered + accounting.dropped == accounting.generated
+
+    def test_delivered_fraction_bounds(self, baseline_results):
+        accounting = PacketAccounting.from_result(baseline_results["roco"])
+        assert 0.0 <= accounting.delivered_fraction <= 1.0
+
+    def test_describe_mentions_reasons(self):
+        accounting = PacketAccounting(
+            generated=10, delivered=8, dropped=2,
+            drops_by_reason={"stall_timeout": 2},
+        )
+        assert accounting.conserved
+        text = accounting.describe()
+        assert "generated=10" in text
+        assert "stall_timeout=2" in text
+
+    def test_leak_detected(self):
+        leaky = PacketAccounting(generated=10, delivered=8, dropped=1)
+        assert not leaky.conserved
+
+
+class TestResilienceProbe:
+    def test_rejects_nonpositive_window(self):
+        simulator = Simulator(small_config())
+        with pytest.raises(ValueError, match="window"):
+            ResilienceProbe(simulator, window=0)
+
+    def test_timelines_cover_the_run(self):
+        simulator = Simulator(small_config())
+        probe = ResilienceProbe(simulator, window=50)
+        result = simulator.run()
+        throughput = probe.throughput_timeline()
+        assert throughput
+        delivered = sum(point.delivered for point in probe.windows)
+        assert delivered == result.total_delivered
+        dropped = sum(point.dropped for point in probe.windows)
+        assert dropped == result.total_dropped
+        starts = [start for start, _ in throughput]
+        assert starts == sorted(starts)
+        assert all(start % 50 == 0 for start in starts)
+
+    def test_latency_timeline_positive(self):
+        simulator = Simulator(small_config())
+        probe = ResilienceProbe(simulator, window=100)
+        simulator.run()
+        latency = probe.latency_timeline()
+        assert latency
+        assert all(value > 0 for _, value in latency)
+
+    def test_fault_count_staircase(self):
+        schedule = center_kill(cycle=150)
+        simulator = Simulator(
+            small_config(injection_rate=0.15, measure_packets=300),
+            schedule=schedule,
+        )
+        probe = ResilienceProbe(simulator, window=100)
+        result = simulator.run()
+        staircase = probe.delivered_by_fault_count()
+        assert [point.fault_count for point in staircase] == sorted(
+            point.fault_count for point in staircase
+        )
+        assert sum(point.generated for point in staircase) == (
+            result.generated_packets
+        )
+        # Pre-fault service is (near-)perfect; post-fault cannot beat it.
+        pre = staircase[0]
+        assert pre.fault_count == 0
+        assert pre.delivered_fraction >= staircase[-1].delivered_fraction
+
+    def test_delivered_fraction_matches_accounting(self):
+        simulator = Simulator(small_config(), schedule=center_kill(cycle=120))
+        probe = ResilienceProbe(simulator, window=100)
+        result = simulator.run()
+        accounting = PacketAccounting.from_result(result)
+        assert probe.delivered_fraction() == pytest.approx(
+            accounting.delivered_fraction
+        )
+
+
+class TestCampaignRunner:
+    def test_run_campaign_end_to_end(self):
+        campaign = run_campaign(small_config(), center_kill(cycle=120))
+        assert campaign.conserved
+        assert 0.0 < campaign.delivered_fraction <= 1.0
+        lines = campaign.summary_lines()
+        assert any("fault events: 1" in line for line in lines)
+        assert any("generated=" in line for line in lines)
+
+    def test_schedulers_agree_through_campaign(self):
+        config = small_config()
+        schedule = center_kill(cycle=120)
+        active = run_campaign(config, schedule)
+        sweep = run_campaign(config, schedule, full_sweep=True)
+        assert active.accounting == sweep.accounting
+
+    def test_degradation_curve_sorted(self):
+        runs = []
+        for count, cycle in ((2, 100), (0, 0), (1, 100)):
+            faults = [
+                ComponentFault(NodeId(1 + i, 1), Component.VA, "row")
+                for i in range(count)
+            ]
+            campaign = run_campaign(
+                small_config(), FaultSchedule.at_cycle(cycle, faults)
+            )
+            runs.append((count, campaign.result))
+        curve = degradation_curve(runs)
+        assert [count for count, _ in curve] == [0, 1, 2]
+        assert all(0.0 <= fraction <= 1.0 for _, fraction in curve)
+
+
+class TestCampaignJobs:
+    def test_schedule_free_key_unchanged(self):
+        """Adding the schedule field must not invalidate existing caches."""
+        config = small_config()
+        assert job_key(SimJob.of(config)) == job_key(
+            SimJob(config=config, faults=(), schedule=None)
+        )
+
+    def test_schedule_changes_key(self):
+        config = small_config()
+        bare = job_key(SimJob.of(config))
+        scheduled = job_key(SimJob.of(config, schedule=center_kill(100)))
+        other = job_key(SimJob.of(config, schedule=center_kill(200)))
+        assert bare != scheduled
+        assert scheduled != other
+
+    def test_campaign_jobs_cache_correctly(self, tmp_path):
+        from repro.harness.parallel import ParallelExecutor
+
+        job = SimJob.of(
+            small_config(measure_packets=60, warmup_packets=10),
+            schedule=center_kill(80),
+        )
+        cache = ResultCache(tmp_path)
+        executor = ParallelExecutor(workers=1, cache=cache)
+        first = executor.run_jobs([job])
+        assert executor.last_stats.simulated == 1
+        again = executor.run_jobs([job])
+        assert executor.last_stats.cache_hits == 1
+        assert first == again
+        assert first == [execute_job(job)]
+
+
+class TestWatchdogProbe:
+    def test_rejects_nonpositive_window(self):
+        simulator = Simulator(small_config())
+        with pytest.raises(ValueError, match="stall_window"):
+            WatchdogProbe(simulator, stall_window=0)
+
+    def test_quiet_on_healthy_run(self):
+        simulator = Simulator(small_config())
+        watchdog = WatchdogProbe(simulator, stall_window=300)
+        simulator.run()
+        assert not watchdog.triggered
+
+    def test_single_observer_slot_enforced(self):
+        simulator = Simulator(small_config())
+        WatchdogProbe(simulator)
+        with pytest.raises(RuntimeError, match="observer"):
+            WatchdogProbe(simulator)
+
+    def test_alarms_on_wedged_network(self):
+        config = small_config(
+            router="generic",
+            injection_rate=0.2,
+            warmup_packets=10,
+            measure_packets=120,
+            drain_timeout=600,
+        )
+        simulator = Simulator(
+            config,
+            faults=[ComponentFault(NodeId(1, 1), Component.VA, "row")],
+        )
+        # Hide the fault from the stall-drop path so worms block forever
+        # behind the dead node — the watchdog must notice the live
+        # routers spinning without progress before the drain rule ends
+        # the run.
+        simulator.network.has_faults = False
+        watchdog = WatchdogProbe(simulator, stall_window=200)
+        try:
+            simulator.run()
+        except Exception:
+            pass
+        assert watchdog.triggered
+        alarm = watchdog.alarms[0]
+        assert alarm.stalled_for >= 200
+        assert alarm.active_routers > 0
+        assert alarm.livelock_suspected
+        assert watchdog.max_stall >= alarm.stalled_for
