@@ -11,12 +11,15 @@ from conftest import once
 from repro.core.config import RouterConfig, SimulationConfig
 from repro.core.simulator import run_simulation
 from repro.harness import report
+from repro.harness.benchbed import Outcome, benchmark
 
 DEPTHS = (2, 3, 5, 8)
 RATE = 0.28
 
 
-def latency(depth: int) -> float:
+def latency(
+    depth: int, sim=run_simulation, warmup: int = 150, measure: int = 900
+) -> float:
     router_config = RouterConfig.for_architecture("roco", buffer_depth=depth)
     config = SimulationConfig(
         width=8,
@@ -26,12 +29,29 @@ def latency(depth: int) -> float:
         traffic="uniform",
         injection_rate=RATE,
         router_config=router_config,
-        warmup_packets=150,
-        measure_packets=900,
+        warmup_packets=warmup,
+        measure_packets=measure,
         seed=7,
         max_cycles=60_000,
     )
-    return run_simulation(config).average_latency
+    return sim(config).average_latency
+
+
+@benchmark(
+    "ablation_buffers",
+    headline="depth2_over_depth5_latency",
+    unit="x",
+    direction="higher",
+)
+def bench(ctx):
+    """Latency penalty of starved (depth-2) buffers vs the paper's depth 5."""
+    depths = ctx.pick(quick=(2, 5), full=DEPTHS)
+    warmup, measure = ctx.pick(quick=(60, 250), full=(150, 900))
+    curve = [(d, latency(d, ctx.run, warmup, measure)) for d in depths]
+    by_depth = dict(curve)
+    return Outcome(
+        by_depth[2] / by_depth[5], details={"latency_by_depth": curve}
+    )
 
 
 def test_ablation_buffer_depth(benchmark):

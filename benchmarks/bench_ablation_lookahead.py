@@ -10,11 +10,18 @@ from conftest import once
 from repro.core.config import RouterConfig, SimulationConfig
 from repro.core.simulator import run_simulation
 from repro.harness import report
+from repro.harness.benchbed import Outcome, benchmark
 
 RATES = (0.05, 0.20, 0.30)
 
 
-def run(lookahead: bool, rate: float):
+def run(
+    lookahead: bool,
+    rate: float,
+    sim=run_simulation,
+    warmup: int = 150,
+    measure: int = 900,
+):
     router_config = RouterConfig.for_architecture(
         "roco", lookahead_routing=lookahead
     )
@@ -26,12 +33,34 @@ def run(lookahead: bool, rate: float):
         traffic="uniform",
         injection_rate=rate,
         router_config=router_config,
-        warmup_packets=150,
-        measure_packets=900,
+        warmup_packets=warmup,
+        measure_packets=measure,
         seed=7,
         max_cycles=40_000,
     )
-    return run_simulation(config)
+    return sim(config)
+
+
+@benchmark(
+    "ablation_lookahead",
+    headline="lookahead_saving_cycles_low_load",
+    unit="cycles",
+    direction="higher",
+)
+def bench(ctx):
+    """End-to-end cycles look-ahead RC saves at the lowest operating point."""
+    rates = ctx.pick(quick=(RATES[0],), full=RATES)
+    warmup, measure = ctx.pick(quick=(60, 250), full=(150, 900))
+    curves = {
+        label: [
+            (rate, run(flag, rate, ctx.run, warmup, measure).average_latency)
+            for rate in rates
+        ]
+        for label, flag in (("lookahead", True), ("local RC", False))
+    }
+    low = rates[0]
+    saving = dict(curves["local RC"])[low] - dict(curves["lookahead"])[low]
+    return Outcome(saving, details={"curves": curves})
 
 
 def test_ablation_lookahead_routing(benchmark):

@@ -11,11 +11,18 @@ from conftest import once
 from repro.core.config import RouterConfig, SimulationConfig
 from repro.core.simulator import run_simulation
 from repro.harness import report
+from repro.harness.benchbed import Outcome, benchmark
 
 RATES = (0.20, 0.30, 0.38)
 
 
-def run(mirror: bool, rate: float):
+def run(
+    mirror: bool,
+    rate: float,
+    sim=run_simulation,
+    warmup: int = 150,
+    measure: int = 900,
+):
     router_config = RouterConfig.for_architecture("roco", mirror_allocation=mirror)
     config = SimulationConfig(
         width=8,
@@ -25,12 +32,34 @@ def run(mirror: bool, rate: float):
         traffic="uniform",
         injection_rate=rate,
         router_config=router_config,
-        warmup_packets=150,
-        measure_packets=900,
+        warmup_packets=warmup,
+        measure_packets=measure,
         seed=7,
         max_cycles=40_000,
     )
-    return run_simulation(config)
+    return sim(config)
+
+
+@benchmark(
+    "ablation_mirror",
+    headline="sequential_over_mirror_latency_high_load",
+    unit="x",
+    direction="higher",
+)
+def bench(ctx):
+    """What the Mirroring Effect's matching guarantee is worth under load."""
+    rates = ctx.pick(quick=(RATES[-1],), full=RATES)
+    warmup, measure = ctx.pick(quick=(60, 250), full=(150, 900))
+    curves = {
+        label: [
+            (rate, run(flag, rate, ctx.run, warmup, measure).average_latency)
+            for rate in rates
+        ]
+        for label, flag in (("mirror", True), ("sequential", False))
+    }
+    high = rates[-1]
+    ratio = dict(curves["sequential"])[high] / dict(curves["mirror"])[high]
+    return Outcome(ratio, details={"curves": curves})
 
 
 def test_ablation_mirror_allocator(benchmark):

@@ -13,6 +13,11 @@ and the min over repeated interleaved pairs — external load only ever
 true cost (the same reasoning behind ``timeit``'s ``min``).  At higher
 loads the duty cycle approaches 1 and the two schedulers converge, so
 those points only assert equivalence and report the measured ratio.
+
+The registered benchmark's *headline* is the deterministic low-load duty
+cycle (the quantity that bounds the achievable speedup), not the noisy
+wall-clock ratio — the measured speedup rides along in the artifact's
+details, where the wall-time gate of ``repro bench compare`` covers it.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from conftest import once
 
 from repro.core.config import SimulationConfig
 from repro.core.simulator import run_simulation
+from repro.harness.benchbed import Outcome, Threshold, benchmark
 from repro.harness.export import result_record
 
 #: Operating points in flits/node/cycle (``injection_rate``'s unit).
@@ -35,7 +41,9 @@ REPEATS = 9
 SPEEDUP_FLOOR = 1.5
 
 
-def scheduling_config(rate: float) -> SimulationConfig:
+def scheduling_config(
+    rate: float, warmup: int = 150, measure: int = 900
+) -> SimulationConfig:
     return SimulationConfig(
         width=8,
         height=8,
@@ -44,34 +52,45 @@ def scheduling_config(rate: float) -> SimulationConfig:
         traffic="uniform",
         injection_rate=rate,
         seed=7,
-        warmup_packets=150,
-        measure_packets=900,
+        warmup_packets=warmup,
+        measure_packets=measure,
         max_cycles=40_000,
     )
 
 
-def timed_pair(rate: float):
+def timed_pair(rate: float, warmup: int = 150, measure_pkts: int = 900):
     """One interleaved active/full-sweep pair: (records?, times)."""
-    config = scheduling_config(rate)
+    config = scheduling_config(rate, warmup, measure_pkts)
     t0 = time.process_time()
     active = run_simulation(config)
     t1 = time.process_time()
-    sweep = run_simulation(scheduling_config(rate), full_sweep=True)
+    sweep = run_simulation(
+        scheduling_config(rate, warmup, measure_pkts), full_sweep=True
+    )
     t2 = time.process_time()
     return active, sweep, t1 - t0, t2 - t1
 
 
-def measure():
+def measure(
+    rates=RATES,
+    repeats: int = REPEATS,
+    warmup: int = 150,
+    measure_pkts: int = 900,
+    absorb=None,
+):
     rows = []
-    for rate in RATES:
-        repeats = REPEATS if rate == RATES[0] else 2
+    for rate in rates:
+        pair_count = repeats if rate == rates[0] else 2
         active_times, sweep_times = [], []
         duty = None
-        for _ in range(repeats):
-            active, sweep, ta, ts = timed_pair(rate)
+        for _ in range(pair_count):
+            active, sweep, ta, ts = timed_pair(rate, warmup, measure_pkts)
             assert result_record(active) == result_record(sweep), (
                 f"schedulers diverged at rate {rate}"
             )
+            if absorb is not None:
+                absorb(active)
+                absorb(sweep)
             active_times.append(ta)
             sweep_times.append(ts)
             duty = active.scheduler.duty_cycle
@@ -80,33 +99,66 @@ def measure():
                 "rate": rate,
                 "active_s": min(active_times),
                 "sweep_s": min(sweep_times),
-                "speedup": min(sweep_times) / min(active_times),
+                "speedup": min(sweep_times) / max(min(active_times), 1e-9),
                 "duty": duty,
             }
         )
     return rows
 
 
+def render_rows(rows) -> str:
+    lines = [
+        f"{'rate':>6} {'active':>9} {'sweep':>9} {'speedup':>8} {'duty':>6}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['rate']:>6.2f} {row['active_s']:>8.3f}s "
+            f"{row['sweep_s']:>8.3f}s {row['speedup']:>7.2f}x "
+            f"{row['duty']:>6.3f}"
+        )
+    return "\n".join(lines)
+
+
+@benchmark(
+    "activity_core",
+    headline="duty_cycle_low_load",
+    unit="fraction",
+    direction="lower",
+    ceiling=0.7,
+)
+def bench(ctx):
+    """Low-load duty cycle of the active-set scheduler (bounds speedup)."""
+    rates = ctx.pick(quick=(0.1,), full=RATES)
+    repeats = ctx.pick(quick=1, full=REPEATS)
+    warmup, measure_pkts = ctx.pick(quick=(60, 250), full=(150, 900))
+    rows = measure(rates, repeats, warmup, measure_pkts, absorb=ctx.absorb)
+    low = rows[0]
+    return Outcome(
+        low["duty"],
+        details={"rows": rows, "speedup_low_load": low["speedup"]},
+        ceiling=ctx.pick(quick=0.75, full=None),
+    )
+
+
 def test_activity_core_speedup(benchmark):
     rows = once(benchmark, measure)
     print()
-    print(f"{'rate':>6} {'active':>9} {'sweep':>9} {'speedup':>8} {'duty':>6}")
-    for row in rows:
-        print(
-            f"{row['rate']:>6.2f} {row['active_s']:>8.3f}s {row['sweep_s']:>8.3f}s "
-            f"{row['speedup']:>7.2f}x {row['duty']:>6.3f}"
-        )
+    print(render_rows(rows))
 
     low = rows[0]
     assert low["rate"] == 0.1
     # Headline criterion: >= 1.5x single-run speedup at 0.1 flits/node/
-    # cycle uniform traffic on the 8x8 mesh.
-    assert low["speedup"] >= SPEEDUP_FLOOR, (
-        f"activity scheduler only {low['speedup']:.2f}x faster at rate 0.1"
+    # cycle uniform traffic on the 8x8 mesh.  The benchbed threshold
+    # carries the measured table into the failure message, so a noisy
+    # runner produces a diagnosable report, not a bare AssertionError.
+    Threshold("activity_speedup_low_load", floor=SPEEDUP_FLOOR).check(
+        low["speedup"], context=render_rows(rows)
     )
     # The saving must come from skipped router-cycles, not anything else:
     # the duty cycle bounds the achievable speedup from below.
-    assert low["duty"] < 0.7
+    Threshold("duty_cycle_low_load", ceiling=0.7).check(
+        low["duty"], context=render_rows(rows)
+    )
 
     # Higher loads: equivalence held (asserted in measure()); the duty
     # cycle rises towards 1 and the advantage legitimately shrinks.

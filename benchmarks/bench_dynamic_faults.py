@@ -14,6 +14,7 @@ from conftest import EXECUTOR, once
 from repro.core.config import SimulationConfig
 from repro.core.types import NodeId
 from repro.faults import Component, ComponentFault, FaultEvent, FaultSchedule
+from repro.harness.benchbed import Outcome, benchmark
 from repro.harness.campaign import run_campaign
 from repro.harness.parallel import SimJob
 
@@ -30,7 +31,9 @@ KILL_SEQUENCE = (
 )
 
 
-def config_for(router: str) -> SimulationConfig:
+def config_for(
+    router: str, warmup: int = 100, measure: int = 500
+) -> SimulationConfig:
     return SimulationConfig(
         width=8,
         height=8,
@@ -38,21 +41,25 @@ def config_for(router: str) -> SimulationConfig:
         routing="xy",
         traffic="uniform",
         injection_rate=0.15,
-        warmup_packets=100,
-        measure_packets=500,
+        warmup_packets=warmup,
+        measure_packets=measure,
         max_cycles=30_000,
         seed=7,
     )
 
 
-def run_curves() -> dict[str, dict[int, float]]:
+def run_curves(
+    executor=EXECUTOR, warmup: int = 100, measure: int = 500
+) -> dict[str, dict[int, float]]:
     """completion probability per (architecture, cumulative fault count)."""
     jobs = []
     for router in ARCHITECTURES:
         for count in FAULT_COUNTS:
             schedule = FaultSchedule(list(KILL_SEQUENCE[:count]))
-            jobs.append(SimJob.of(config_for(router), schedule=schedule))
-    records = EXECUTOR.run_jobs(jobs)
+            jobs.append(
+                SimJob.of(config_for(router, warmup, measure), schedule=schedule)
+            )
+    records = executor.run_jobs(jobs)
     curves: dict[str, dict[int, float]] = {}
     index = 0
     for router in ARCHITECTURES:
@@ -61,6 +68,33 @@ def run_curves() -> dict[str, dict[int, float]]:
             curves[router][count] = records[index]["completion_probability"]
             index += 1
     return curves
+
+
+@benchmark(
+    "dynamic_faults",
+    headline="roco_completion_4_kills",
+    unit="probability",
+    direction="higher",
+)
+def bench(ctx):
+    """RoCo's completion with 4 staggered mid-run kills on the mesh."""
+    warmup, measure = ctx.pick(quick=(60, 250), full=(100, 500))
+    curves = run_curves(ctx.executor, warmup, measure)
+    campaign = run_campaign(
+        config_for("roco", warmup, measure), FaultSchedule(list(KILL_SEQUENCE))
+    )
+    ctx.absorb(campaign.result)
+    staircase = [
+        {
+            "fault_count": point.fault_count,
+            "delivered_fraction": point.delivered_fraction,
+        }
+        for point in campaign.probe.delivered_by_fault_count()
+    ]
+    return Outcome(
+        curves["roco"][4],
+        details={"curves": curves, "roco_staircase": staircase},
+    )
 
 
 def test_dynamic_fault_degradation(benchmark):

@@ -11,12 +11,19 @@ from conftest import once
 from repro.core.config import SimulationConfig
 from repro.core.simulator import run_simulation
 from repro.harness import report
+from repro.harness.benchbed import Outcome, benchmark
 
 SIZES = (1, 2, 4, 8)
 LOW_RATE, HIGH_RATE = 0.05, 0.30
 
 
-def latency(flits: int, rate: float) -> float:
+def latency(
+    flits: int,
+    rate: float,
+    sim=run_simulation,
+    warmup: int = 120,
+    measure: int = 700,
+) -> float:
     config = SimulationConfig(
         width=8,
         height=8,
@@ -25,12 +32,33 @@ def latency(flits: int, rate: float) -> float:
         traffic="uniform",
         injection_rate=rate,
         flits_per_packet=flits,
-        warmup_packets=120,
-        measure_packets=700,
+        warmup_packets=warmup,
+        measure_packets=measure,
         seed=7,
         max_cycles=60_000,
     )
-    return run_simulation(config).average_latency
+    return sim(config).average_latency
+
+
+@benchmark(
+    "ext_packet_size",
+    headline="serialization_cycles_1_to_4_flits",
+    unit="cycles",
+    direction="lower",
+)
+def bench(ctx):
+    """Unloaded latency cost of growing worms from 1 to 4 flits."""
+    sizes = ctx.pick(quick=(1, 4), full=SIZES)
+    rates = ctx.pick(quick=(LOW_RATE,), full=(LOW_RATE, HIGH_RATE))
+    warmup, measure = ctx.pick(quick=(60, 250), full=(120, 700))
+    curves = {
+        f"rate {rate}": [
+            (s, latency(s, rate, ctx.run, warmup, measure)) for s in sizes
+        ]
+        for rate in rates
+    }
+    low = dict(curves[f"rate {LOW_RATE}"])
+    return Outcome(low[4] - low[1], details={"curves": curves})
 
 
 def test_extension_packet_size(benchmark):

@@ -12,13 +12,20 @@ from conftest import once
 from repro.core.config import SimulationConfig
 from repro.core.simulator import run_simulation
 from repro.harness import report
+from repro.harness.benchbed import Outcome, benchmark
 
 PATTERNS = ("uniform", "bit_complement", "bit_reverse", "shuffle")
 ROUTERS = ("generic", "path_sensitive", "roco")
 RATE = 0.12
 
 
-def latency(router: str, traffic: str) -> float:
+def latency(
+    router: str,
+    traffic: str,
+    sim=run_simulation,
+    warmup: int = 120,
+    measure: int = 700,
+) -> float:
     config = SimulationConfig(
         width=8,
         height=8,
@@ -26,12 +33,36 @@ def latency(router: str, traffic: str) -> float:
         routing="xy",
         traffic=traffic,
         injection_rate=RATE,
-        warmup_packets=120,
-        measure_packets=700,
+        warmup_packets=warmup,
+        measure_packets=measure,
         seed=7,
         max_cycles=40_000,
     )
-    return run_simulation(config).average_latency
+    return sim(config).average_latency
+
+
+@benchmark(
+    "ext_permutations",
+    headline="bit_complement_roco_over_generic_latency",
+    unit="x",
+    direction="lower",
+)
+def bench(ctx):
+    """RoCo vs generic on the hardest adversarial pattern (bit-complement)."""
+    patterns = ctx.pick(quick=("uniform", "bit_complement"), full=PATTERNS)
+    routers = ctx.pick(quick=("generic", "roco"), full=ROUTERS)
+    warmup, measure = ctx.pick(quick=(60, 250), full=(120, 700))
+    table = {
+        traffic: {
+            router: latency(router, traffic, ctx.run, warmup, measure)
+            for router in routers
+        }
+        for traffic in patterns
+    }
+    hardest = table["bit_complement"]
+    return Outcome(
+        hardest["roco"] / hardest["generic"], details={"latency": table}
+    )
 
 
 def test_extension_permutation_traffic(benchmark):

@@ -10,9 +10,39 @@ from conftest import once
 
 from repro.analysis.model import bisection_saturation_rate
 from repro.harness import report
+from repro.harness.benchbed import Outcome, benchmark
 from repro.harness.replication import find_saturation_rate
 
 ROUTERS = ("generic", "path_sensitive", "roco")
+
+
+@benchmark(
+    "ext_saturation",
+    headline="roco_saturation_fraction_of_bound",
+    unit="fraction",
+    direction="higher",
+)
+def bench(ctx):
+    """RoCo's saturation throughput as a fraction of the bisection bound."""
+    routers = ctx.pick(quick=("roco",), full=ROUTERS)
+    measure, tolerance = ctx.pick(quick=(400, 0.06), full=(1500, 0.03))
+    rates = {
+        router: find_saturation_rate(
+            router,
+            width=8,
+            height=8,
+            measure_packets=measure,
+            tolerance=tolerance,
+            threshold_factor=2.0,
+            run=ctx.run,
+        )
+        for router in routers
+    }
+    bound = bisection_saturation_rate(8)
+    return Outcome(
+        rates["roco"] / bound,
+        details={"saturation_rates": rates, "bisection_bound": bound},
+    )
 
 
 def test_extension_saturation_throughput(benchmark):

@@ -11,12 +11,19 @@ from conftest import once
 from repro.core.config import SimulationConfig
 from repro.core.simulator import run_simulation
 from repro.harness import report
+from repro.harness.benchbed import Outcome, benchmark
 
 SIZES = (4, 6, 8, 10)
 RATE = 0.15
 
 
-def latency(router: str, k: int) -> float:
+def latency(
+    router: str,
+    k: int,
+    sim=run_simulation,
+    warmup: int = 120,
+    measure: int = 700,
+) -> float:
     config = SimulationConfig(
         width=k,
         height=k,
@@ -24,12 +31,30 @@ def latency(router: str, k: int) -> float:
         routing="xy",
         traffic="uniform",
         injection_rate=RATE,
-        warmup_packets=120,
-        measure_packets=700,
+        warmup_packets=warmup,
+        measure_packets=measure,
         seed=7,
         max_cycles=40_000,
     )
-    return run_simulation(config).average_latency
+    return sim(config).average_latency
+
+
+@benchmark(
+    "ext_scaling",
+    headline="roco_over_generic_latency_8x8",
+    unit="x",
+    direction="lower",
+)
+def bench(ctx):
+    """RoCo's latency ratio vs generic at the paper's 8x8 size."""
+    sizes = ctx.pick(quick=(4, 8), full=SIZES)
+    warmup, measure = ctx.pick(quick=(60, 250), full=(120, 700))
+    curves = {
+        router: [(k, latency(router, k, ctx.run, warmup, measure)) for k in sizes]
+        for router in ("generic", "roco")
+    }
+    ratio = dict(curves["roco"])[8] / dict(curves["generic"])[8]
+    return Outcome(ratio, details={"curves": curves})
 
 
 def test_extension_mesh_scaling(benchmark):

@@ -12,11 +12,18 @@ from conftest import once
 from repro.core.config import SimulationConfig
 from repro.core.simulator import run_simulation
 from repro.harness import report
+from repro.harness.benchbed import Outcome, benchmark
 
 RATES = (0.10, 0.25, 0.40)
 
 
-def run(topology: str, rate: float):
+def run(
+    topology: str,
+    rate: float,
+    sim=run_simulation,
+    warmup: int = 150,
+    measure: int = 900,
+):
     config = SimulationConfig(
         width=8,
         height=8,
@@ -25,12 +32,37 @@ def run(topology: str, rate: float):
         routing="xy",
         traffic="uniform",
         injection_rate=rate,
-        warmup_packets=150,
-        measure_packets=900,
+        warmup_packets=warmup,
+        measure_packets=measure,
         seed=7,
         max_cycles=60_000,
     )
-    return run_simulation(config)
+    return sim(config)
+
+
+@benchmark(
+    "ext_torus",
+    headline="torus_over_mesh_latency_low_load",
+    unit="x",
+    direction="lower",
+)
+def bench(ctx):
+    """Latency the torus wraparound buys back at low load."""
+    rates = ctx.pick(quick=(RATES[0],), full=RATES)
+    warmup, measure = ctx.pick(quick=(60, 250), full=(150, 900))
+    curves = {
+        topology: [
+            (
+                rate,
+                run(topology, rate, ctx.run, warmup, measure).average_latency,
+            )
+            for rate in rates
+        ]
+        for topology in ("mesh", "torus")
+    }
+    low = rates[0]
+    ratio = dict(curves["torus"])[low] / dict(curves["mesh"])[low]
+    return Outcome(ratio, details={"curves": curves})
 
 
 def test_extension_torus(benchmark):

@@ -1,8 +1,9 @@
 """Reproduces Figure 10 — latency vs injection rate, transpose traffic."""
 
-from conftest import EXECUTOR, once
+from conftest import EXECUTOR, curve_value, once
 
 from repro.harness import ExperimentScale, figure10, report
+from repro.harness.benchbed import Outcome, benchmark
 
 #: Transpose saturates much earlier than uniform (its row/column flows
 #: concentrate on the diagonal), so the sweep uses lower rates.
@@ -18,13 +19,30 @@ TRANSPOSE_SCALE = ExperimentScale(
 )
 
 
+@benchmark(
+    "fig10_transpose",
+    headline="roco_latency_gap_low_load_xy",
+    unit="fraction",
+    direction="higher",
+)
+def bench(ctx):
+    """RoCo's low-load advantage under the transpose permutation."""
+    scale = ctx.scale(TRANSPOSE_SCALE)
+    data = figure10(scale, executor=ctx.executor)
+    low = scale.rates[0]
+    gap = 1 - curve_value(data, "xy", "roco", low) / curve_value(
+        data, "xy", "generic", low
+    )
+    return Outcome(gap, details={"curves": data})
+
+
 def test_figure10_transpose_latency(benchmark):
     data = once(benchmark, lambda: figure10(TRANSPOSE_SCALE, executor=EXECUTOR))
     print()
     print(report.render_latency_figure(data, "Figure 10", "transpose"))
 
     def lat(routing, router, rate):
-        return dict(data[routing][router])[rate]
+        return curve_value(data, routing, router, rate)
 
     # RoCo below generic at every sub-saturation point; transpose
     # saturates abruptly, so the top rate gets a tolerance band.

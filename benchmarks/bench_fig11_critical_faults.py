@@ -3,10 +3,29 @@
 from conftest import BENCH_FAULTS, EXECUTOR, once
 
 from repro.harness import fault_figure, report
+from repro.harness.benchbed import Outcome, benchmark
+
+
+@benchmark(
+    "fig11_critical_faults",
+    headline="completion_ratio_roco_over_generic_xy_4faults",
+    unit="x",
+    direction="higher",
+)
+def bench(ctx):
+    """RoCo's completion advantage at the worst point (XY, 4 faults)."""
+    scale = ctx.scale(BENCH_FAULTS)
+    data = fault_figure(critical=True, scale=scale, executor=ctx.executor)
+    roco = data["xy"]["roco"][4]
+    generic = data["xy"]["generic"][4]
+    return Outcome(roco / max(generic, 1e-9), details={"completion": data})
 
 
 def test_figure11_critical_fault_completion(benchmark):
-    data = once(benchmark, lambda: fault_figure(critical=True, scale=BENCH_FAULTS, executor=EXECUTOR))
+    data = once(
+        benchmark,
+        lambda: fault_figure(critical=True, scale=BENCH_FAULTS, executor=EXECUTOR),
+    )
     print()
     print(report.render_fault_figure(data, "Figure 11 (router-centric faults)"))
 
@@ -16,7 +35,9 @@ def test_figure11_critical_fault_completion(benchmark):
             # Graceful degradation: RoCo completes at least as much as
             # both baselines for every fault count and routing algorithm.
             assert per_router["roco"][count] >= per_router["generic"][count]
-            assert per_router["roco"][count] >= per_router["path_sensitive"][count]
+            assert (
+                per_router["roco"][count] >= per_router["path_sensitive"][count]
+            )
 
         # Completion degrades (weakly) as faults accumulate.
         for router in per_router:

@@ -3,10 +3,30 @@
 from conftest import BENCH_FAULTS, EXECUTOR, once
 
 from repro.harness import fault_figure, report
+from repro.harness.benchbed import Outcome, benchmark
+
+
+@benchmark(
+    "fig12_noncritical_faults",
+    headline="min_roco_completion_xy",
+    unit="probability",
+    direction="higher",
+)
+def bench(ctx):
+    """RoCo's worst completion under message-centric faults (recycling)."""
+    scale = ctx.scale(BENCH_FAULTS)
+    data = fault_figure(critical=False, scale=scale, executor=ctx.executor)
+    worst = min(data["xy"]["roco"].values())
+    return Outcome(worst, details={"completion": data})
 
 
 def test_figure12_noncritical_fault_completion(benchmark):
-    data = once(benchmark, lambda: fault_figure(critical=False, scale=BENCH_FAULTS, executor=EXECUTOR))
+    data = once(
+        benchmark,
+        lambda: fault_figure(
+            critical=False, scale=BENCH_FAULTS, executor=EXECUTOR
+        ),
+    )
     print()
     print(report.render_fault_figure(data, "Figure 12 (message-centric faults)"))
 
@@ -23,4 +43,7 @@ def test_figure12_noncritical_fault_completion(benchmark):
     # adaptive one — "uniform fault-tolerance under all routing
     # algorithms" (Section 5.4).
     for count in (1, 2, 4):
-        assert abs(data["xy"]["roco"][count] - data["adaptive"]["roco"][count]) < 0.05
+        assert (
+            abs(data["xy"]["roco"][count] - data["adaptive"]["roco"][count])
+            < 0.05
+        )

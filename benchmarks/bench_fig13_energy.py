@@ -3,6 +3,26 @@
 from conftest import BENCH, EXECUTOR, once
 
 from repro.harness import figure13, report
+from repro.harness.benchbed import Outcome, benchmark
+
+
+@benchmark(
+    "fig13_energy",
+    headline="mean_energy_saving_vs_generic",
+    unit="fraction",
+    direction="higher",
+)
+def bench(ctx):
+    """RoCo's energy-per-packet saving vs generic, averaged over traffic."""
+    scale = ctx.scale(BENCH)
+    data = figure13(scale, executor=ctx.executor)
+    savings = [
+        1 - per_router["roco"] / per_router["generic"]
+        for per_router in data.values()
+    ]
+    return Outcome(
+        sum(savings) / len(savings), details={"energy_per_packet_nj": data}
+    )
 
 
 def test_figure13_energy_per_packet(benchmark):

@@ -3,6 +3,27 @@
 from conftest import BENCH_FAULTS, EXECUTOR, once
 
 from repro.harness import figure14, report
+from repro.harness.benchbed import Outcome, benchmark
+
+
+@benchmark(
+    "fig14_pef",
+    headline="mean_pef_improvement_vs_generic_critical",
+    unit="fraction",
+    direction="higher",
+)
+def bench(ctx):
+    """RoCo's PEF advantage vs generic under critical faults (paper ~39%)."""
+    scale = ctx.scale(BENCH_FAULTS)
+    data = figure14(scale, executor=ctx.executor)
+    per_router = data["critical"]
+    improvements = [
+        1 - per_router["roco"][c]["pef"] / per_router["generic"][c]["pef"]
+        for c in (1, 2, 4)
+    ]
+    return Outcome(
+        sum(improvements) / len(improvements), details={"pef": data}
+    )
 
 
 def test_figure14_pef(benchmark):

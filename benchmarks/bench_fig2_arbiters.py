@@ -3,10 +3,36 @@
 from conftest import once
 
 from repro.harness import figure2, report
+from repro.harness.benchbed import Outcome, benchmark
+
+#: VCs per port in the paper's configuration.
+V = 3
+
+
+@benchmark(
+    "fig2_arbiters",
+    headline="request_line_ratio_generic_over_roco",
+    unit="x",
+    direction="higher",
+)
+def bench(ctx):
+    """Analytic arbiter inventory: how much wiring RoCo saves (R=>v)."""
+    ctx.stamp(analytic=True, v=V)
+    data = figure2(V)
+    generic = data["generic R=>v"].total_request_lines
+    roco = data["roco R=>v"].total_request_lines
+    return Outcome(
+        generic / roco,
+        details={
+            "total_request_lines": {
+                name: inv.total_request_lines for name, inv in data.items()
+            }
+        },
+    )
 
 
 def test_figure2_arbiter_inventory(benchmark):
-    v = 3
+    v = V
     data = once(benchmark, lambda: figure2(v))
     rows = [
         [

@@ -1,8 +1,25 @@
 """Reproduces Figure 3 — contention probabilities vs offered load."""
 
-from conftest import BENCH, EXECUTOR, once
+from conftest import BENCH, EXECUTOR, curve_value, once
 
 from repro.harness import figure3, report
+from repro.harness.benchbed import Outcome, benchmark
+
+
+@benchmark(
+    "fig3_contention",
+    headline="row_contention_ratio_generic_over_roco",
+    unit="x",
+    direction="higher",
+)
+def bench(ctx):
+    """How much more row-input contention the generic router suffers."""
+    scale = ctx.scale(BENCH)
+    data = figure3(scale, executor=ctx.executor)
+    high = scale.contention_rates[-1]
+    generic = curve_value(data, "row_xy", "generic", high)
+    roco = curve_value(data, "row_xy", "roco", high)
+    return Outcome(generic / max(roco, 1e-9), details={"panels": data})
 
 
 def test_figure3_contention_probabilities(benchmark):
@@ -25,7 +42,7 @@ def test_figure3_contention_probabilities(benchmark):
     high = BENCH.contention_rates[-1]
 
     def at(panel, router, rate):
-        return dict(data[panel][router])[rate]
+        return curve_value(data, panel, router, rate)
 
     # Shape target: the generic router suffers the highest contention;
     # RoCo the least (Figure 3's headline).

@@ -1,8 +1,26 @@
 """Reproduces Figure 8 — latency vs injection rate, uniform random traffic."""
 
-from conftest import BENCH, EXECUTOR, once
+from conftest import BENCH, EXECUTOR, curve_value, once
 
 from repro.harness import figure8, report
+from repro.harness.benchbed import Outcome, benchmark
+
+
+@benchmark(
+    "fig8_uniform",
+    headline="roco_latency_gap_low_load_xy",
+    unit="fraction",
+    direction="higher",
+)
+def bench(ctx):
+    """RoCo's low-load latency advantage over the generic router (XY)."""
+    scale = ctx.scale(BENCH)
+    data = figure8(scale, executor=ctx.executor)
+    low = scale.rates[0]
+    gap = 1 - curve_value(data, "xy", "roco", low) / curve_value(
+        data, "xy", "generic", low
+    )
+    return Outcome(gap, details={"curves": data})
 
 
 def test_figure8_uniform_latency(benchmark):
@@ -11,7 +29,7 @@ def test_figure8_uniform_latency(benchmark):
     print(report.render_latency_figure(data, "Figure 8", "uniform"))
 
     def lat(routing, router, rate):
-        return dict(data[routing][router])[rate]
+        return curve_value(data, routing, router, rate)
 
     for routing in ("xy", "xy-yx", "adaptive"):
         for rate in BENCH.rates:

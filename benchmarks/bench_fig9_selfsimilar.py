@@ -1,8 +1,26 @@
 """Reproduces Figure 9 — latency vs injection rate, self-similar traffic."""
 
-from conftest import BENCH, EXECUTOR, once
+from conftest import BENCH, EXECUTOR, curve_value, once
 
 from repro.harness import figure9, report
+from repro.harness.benchbed import Outcome, benchmark
+
+
+@benchmark(
+    "fig9_selfsimilar",
+    headline="roco_latency_gap_low_load_xy",
+    unit="fraction",
+    direction="higher",
+)
+def bench(ctx):
+    """RoCo's low-load advantage under bursty self-similar arrivals."""
+    scale = ctx.scale(BENCH)
+    data = figure9(scale, executor=ctx.executor)
+    low = scale.rates[0]
+    gap = 1 - curve_value(data, "xy", "roco", low) / curve_value(
+        data, "xy", "generic", low
+    )
+    return Outcome(gap, details={"curves": data})
 
 
 def test_figure9_selfsimilar_latency(benchmark):
@@ -11,7 +29,7 @@ def test_figure9_selfsimilar_latency(benchmark):
     print(report.render_latency_figure(data, "Figure 9", "self-similar"))
 
     def lat(routing, router, rate):
-        return dict(data[routing][router])[rate]
+        return curve_value(data, routing, router, rate)
 
     # RoCo below generic at every sub-saturation point, every routing
     # algorithm; at the top (near-saturation) rate the heavy-tailed
@@ -26,4 +44,3 @@ def test_figure9_selfsimilar_latency(benchmark):
     # the same mean rate (compare the Figure 8 numbers qualitatively).
     low = BENCH.rates[0]
     assert lat("xy", "generic", low) > 24  # uniform Fig 8 sits near 27
-

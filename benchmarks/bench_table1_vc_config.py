@@ -3,6 +3,51 @@
 from conftest import once
 
 from repro.harness import report, table1
+from repro.harness.benchbed import Outcome, benchmark
+
+#: The paper's Table 1, verbatim.
+PAPER_TABLE = {
+    "adaptive": {
+        "row_port1": ["dx", "tyx", "Injxy"],
+        "row_port2": ["dx", "dx", "tyx"],
+        "column_port1": ["dy", "txy", "Injyx"],
+        "column_port2": ["dy", "txy", "txy"],
+    },
+    "xy-yx": {
+        "row_port1": ["dx", "tyx", "Injxy"],
+        "row_port2": ["dx", "dx", "tyx"],
+        "column_port1": ["dy", "txy", "Injyx"],
+        "column_port2": ["dy", "dy", "txy"],
+    },
+    "xy": {
+        "row_port1": ["dx", "dx", "Injxy"],
+        "row_port2": ["dx", "dx", "Injxy"],
+        "column_port1": ["dy", "txy", "Injyx"],
+        "column_port2": ["dy", "dy", "txy"],
+    },
+}
+
+
+@benchmark(
+    "table1_vc_config",
+    headline="table_match_fraction",
+    unit="fraction",
+    direction="higher",
+    floor=1.0,
+)
+def bench(ctx):
+    """Fraction of Table-1 cells reproduced exactly (must be 1.0)."""
+    ctx.stamp(analytic=True)
+    data = table1()
+    cells = [
+        (mode, port) for mode, ports in PAPER_TABLE.items() for port in ports
+    ]
+    matches = sum(
+        1
+        for mode, port in cells
+        if data.get(mode, {}).get(port) == PAPER_TABLE[mode][port]
+    )
+    return Outcome(matches / len(cells), details={"table": data})
 
 
 def test_table1_vc_configuration(benchmark):
@@ -11,21 +56,6 @@ def test_table1_vc_configuration(benchmark):
     print(report.render_table1(data))
 
     # Exact reproduction of the paper's table.
-    assert data["adaptive"] == {
-        "row_port1": ["dx", "tyx", "Injxy"],
-        "row_port2": ["dx", "dx", "tyx"],
-        "column_port1": ["dy", "txy", "Injyx"],
-        "column_port2": ["dy", "txy", "txy"],
-    }
-    assert data["xy-yx"] == {
-        "row_port1": ["dx", "tyx", "Injxy"],
-        "row_port2": ["dx", "dx", "tyx"],
-        "column_port1": ["dy", "txy", "Injyx"],
-        "column_port2": ["dy", "dy", "txy"],
-    }
-    assert data["xy"] == {
-        "row_port1": ["dx", "dx", "Injxy"],
-        "row_port2": ["dx", "dx", "Injxy"],
-        "column_port1": ["dy", "txy", "Injyx"],
-        "column_port2": ["dy", "dy", "txy"],
-    }
+    assert data["adaptive"] == PAPER_TABLE["adaptive"]
+    assert data["xy-yx"] == PAPER_TABLE["xy-yx"]
+    assert data["xy"] == PAPER_TABLE["xy"]

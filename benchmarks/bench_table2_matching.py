@@ -5,6 +5,21 @@ from conftest import once
 
 from repro.analysis import non_blocking_assignments
 from repro.harness import report, table2
+from repro.harness.benchbed import Outcome, benchmark
+
+
+@benchmark(
+    "table2_matching",
+    headline="roco_non_blocking_probability",
+    unit="probability",
+    direction="higher",
+    floor=0.24,
+)
+def bench(ctx):
+    """RoCo's analytic non-blocking probability (paper: 0.25)."""
+    ctx.stamp(analytic=True, n=5)
+    data = table2()
+    return Outcome(data["roco"], details=dict(data))
 
 
 def test_table2_non_blocking_probabilities(benchmark):

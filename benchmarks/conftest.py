@@ -66,3 +66,13 @@ BENCH_FAULTS = ExperimentScale(
 def once(benchmark, func):
     """Run a reproduction exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def curve_value(data, routing: str, router: str, rate: float) -> float:
+    """Look up one point of a latency-curve figure.
+
+    Figures 8-10 return ``{routing: {router: [(rate, latency), ...]}}``;
+    this indexes one point regardless of the rate grid in use, so the
+    same lookup works at both the quick and full benchmark tiers.
+    """
+    return dict(data[routing][router])[rate]

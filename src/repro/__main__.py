@@ -15,6 +15,13 @@ already-simulated points)::
 
 ``--workers 0`` means "all cores"; parallel runs produce records
 identical to serial ones (see docs/parallel-execution.md).
+
+Benchmark mode — run the registered benchmark suite through the
+benchbed (see docs/benchmarking.md), or compare two artifact sets::
+
+    python -m repro bench --quick --filter "fig8*" --out bench-results
+    python -m repro bench --quick --baseline benchmarks/baseline --no-wall
+    python -m repro bench compare benchmarks/baseline bench-results
 """
 
 from __future__ import annotations
@@ -301,6 +308,13 @@ def _run_sweep(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["bench"]:
+        # Benchbed subcommand: registry runner + regression gate.  Its
+        # argument surface is separate from the simulation flags above.
+        from repro.harness.benchbed import bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.num_seeds < 1:
         print("error: --num-seeds must be >= 1", file=sys.stderr)

@@ -42,7 +42,9 @@ class Channel(Generic[T]):
         """Launch ``payload`` during ``cycle``; it arrives at cycle + delay."""
         arrival = cycle + self.delay
         if self.single_lane and self._in_flight and self._in_flight[-1][0] >= arrival:
-            raise RuntimeError("link bandwidth exceeded: two flits launched in one cycle")
+            raise RuntimeError(
+                "link bandwidth exceeded: two flits launched in one cycle"
+            )
         self._in_flight.append((arrival, payload))
         self.sends += 1
 

@@ -31,7 +31,7 @@ from pathlib import Path
 
 from repro.core.config import RouterConfig
 from repro.core.types import NodeId
-from repro.faults.injector import ComponentFault, module_vc_count, random_faults
+from repro.faults.injector import ComponentFault, random_faults
 from repro.faults.model import Component
 
 
@@ -74,7 +74,9 @@ class FaultSchedule:
     sort), which defines the order the simulator applies them in.
     """
 
-    def __init__(self, events: "list[FaultEvent] | tuple[FaultEvent, ...]" = ()) -> None:
+    def __init__(
+        self, events: "list[FaultEvent] | tuple[FaultEvent, ...]" = ()
+    ) -> None:
         self.events: tuple[FaultEvent, ...] = tuple(
             sorted(events, key=lambda e: e.cycle)
         )

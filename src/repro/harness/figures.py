@@ -114,7 +114,12 @@ def latency_figure(
     for routing in ROUTINGS:
         out[routing.value] = {
             router: [
-                (rate, points[PointSpec(router, routing, traffic, rate)]["average_latency"])
+                (
+                    rate,
+                    points[PointSpec(router, routing, traffic, rate)][
+                        "average_latency"
+                    ],
+                )
                 for rate in scale.rates
             ]
             for router in ROUTERS

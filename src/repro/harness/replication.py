@@ -13,10 +13,11 @@ tools an evaluation needs to treat them honestly:
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.core.config import SimulationConfig
-from repro.core.simulator import run_simulation
+from repro.core.simulator import SimulationResult, run_simulation
 from repro.harness.parallel import ParallelExecutor
 
 #: Two-sided 95% t-distribution critical values by degrees of freedom.
@@ -75,7 +76,10 @@ class MetricSummary:
         return t * self.std / math.sqrt(n)
 
     def __str__(self) -> str:
-        return f"{self.name}: {self.mean:.3f} +- {self.ci95:.3f} (n={len(self.samples)})"
+        return (
+            f"{self.name}: {self.mean:.3f} +- {self.ci95:.3f} "
+            f"(n={len(self.samples)})"
+        )
 
 
 def replicate(
@@ -132,13 +136,16 @@ def find_saturation_rate(
     tolerance: float = 0.02,
     measure_packets: int = 700,
     seed: int = 7,
+    run: Callable[[SimulationConfig], SimulationResult] | None = None,
 ) -> float:
     """Offered load where latency crosses ``threshold_factor`` x unloaded.
 
     Bisection over injection rate; the unloaded reference is measured at
     0.02 flits/node/cycle.  Returns the saturation estimate in
-    flits/node/cycle (resolution ``tolerance``).
+    flits/node/cycle (resolution ``tolerance``).  ``run`` replaces the
+    simulation call — the benchbed passes an accounting wrapper.
     """
+    simulate = run if run is not None else run_simulation
 
     def latency_at(rate: float) -> float:
         config = SimulationConfig(
@@ -153,7 +160,7 @@ def find_saturation_rate(
             max_cycles=80_000,
             seed=seed,
         )
-        return run_simulation(config).average_latency
+        return simulate(config).average_latency
 
     base = latency_at(0.02)
     threshold = threshold_factor * base

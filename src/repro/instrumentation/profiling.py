@@ -1,0 +1,73 @@
+"""Deterministic-ish cProfile capture for benchmark triage.
+
+The benchbed's ``--profile`` hook runs a benchmark once under
+:mod:`cProfile` and reduces the raw stats to a compact hotspot table —
+the top functions by cumulative time, each as a flat JSON-friendly
+record.  The table is meant for flame-style triage ("where did the
+cycles go between these two artifacts?"), not for machine comparison:
+profile payloads are excluded from the artifact comparison payload
+because timings are machine-dependent.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from pathlib import Path
+from typing import Any, Callable
+
+#: Rows kept in a hotspot table, by cumulative time.
+DEFAULT_TOP = 20
+
+
+def _location(func_key: tuple[str, int, str]) -> str:
+    """Render a pstats function key as ``file:line(name)``.
+
+    Paths are shortened to their last two components so tables stay
+    readable and artifacts do not leak absolute build paths.
+    """
+    filename, line, name = func_key
+    if filename.startswith("<"):  # builtins, comprehensions, exec
+        return f"{filename}({name})"
+    short = "/".join(Path(filename).parts[-2:])
+    return f"{short}:{line}({name})"
+
+
+def hotspot_table(
+    stats: pstats.Stats, top: int = DEFAULT_TOP
+) -> list[dict[str, Any]]:
+    """Reduce profiler stats to the ``top`` rows by cumulative time."""
+    rows = []
+    for func_key, (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append(
+            {
+                "function": _location(func_key),
+                "calls": nc,
+                "primitive_calls": cc,
+                "total_time_s": round(tt, 6),
+                "cumulative_time_s": round(ct, 6),
+            }
+        )
+    rows.sort(key=lambda row: row["cumulative_time_s"], reverse=True)
+    return rows[:top]
+
+
+def profile_call(
+    func: Callable[..., Any],
+    *args: Any,
+    top: int = DEFAULT_TOP,
+    **kwargs: Any,
+) -> tuple[Any, list[dict[str, Any]]]:
+    """Call ``func`` under cProfile; return ``(result, hotspots)``.
+
+    ``hotspots`` is the :func:`hotspot_table` of the run.  Exceptions
+    from ``func`` propagate unchanged (the profiler is still disabled).
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = func(*args, **kwargs)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    return result, hotspot_table(stats, top=top)

@@ -16,7 +16,7 @@ import enum
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-from repro.core.types import Direction, Flit, NodeId
+from repro.core.types import Flit, NodeId
 
 
 class EventKind(enum.Enum):

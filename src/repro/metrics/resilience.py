@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING
 from repro.core.types import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.simulator import SimulationResult, Simulator
+    from repro.core.simulator import Simulator
 
 
 @dataclass(frozen=True)

@@ -29,7 +29,6 @@ from repro.core.types import (
     Flit,
     NodeId,
     Packet,
-    is_worm_tail,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard

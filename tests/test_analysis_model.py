@@ -6,7 +6,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis.model import (
-    ZeroLoadEstimate,
     average_hops_uniform,
     bisection_saturation_rate,
     center_link_load,

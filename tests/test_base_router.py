@@ -5,7 +5,7 @@ import pytest
 from repro.core.channel import LINK_DELAY
 from repro.core.config import SimulationConfig
 from repro.core.network import Network
-from repro.core.types import Direction, NodeId, Packet, make_packet_flits
+from repro.core.types import NodeId, Packet, make_packet_flits
 from repro.routers.base import EJECT
 
 

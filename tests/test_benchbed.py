@@ -1,0 +1,502 @@
+"""Tests for the benchbed registry, runner, artifacts, and regression gate.
+
+The contract under test (docs/benchmarking.md):
+
+* discovery imports every ``benchmarks/bench_*.py`` and finds exactly
+  the 21 registered benchmarks, idempotently;
+* a quick-tier run of the same benchmark twice yields byte-identical
+  comparison payloads (wall time and details excluded);
+* artifacts round-trip through the schema validator, and the baseline
+  comparison exits non-zero on regressions (wall slowdown, headline
+  drift against the better-direction, missing benchmarks) while staying
+  green on identical or improved runs.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.harness.benchbed import (
+    REGISTRY,
+    BenchbedError,
+    BenchContext,
+    BenchmarkRegistry,
+    BenchSpec,
+    BenchThresholdError,
+    Outcome,
+    Threshold,
+    bench_main,
+    benchmark,
+    bootstrap_ci,
+    compare_artifacts,
+    comparison_payload,
+    discover,
+    load_artifacts,
+    quick_scale,
+    run_benchmark,
+    validate_artifact,
+    write_artifact,
+)
+from repro.harness.experiment import ExperimentScale
+
+EXPECTED_BENCHMARKS = {
+    "ablation_buffers",
+    "ablation_lookahead",
+    "ablation_mirror",
+    "activity_core",
+    "dynamic_faults",
+    "ext_packet_size",
+    "ext_permutations",
+    "ext_saturation",
+    "ext_scaling",
+    "ext_torus",
+    "fig10_transpose",
+    "fig11_critical_faults",
+    "fig12_noncritical_faults",
+    "fig13_energy",
+    "fig14_pef",
+    "fig2_arbiters",
+    "fig3_contention",
+    "fig8_uniform",
+    "fig9_selfsimilar",
+    "table1_vc_config",
+    "table2_matching",
+}
+
+
+def make_registry():
+    registry = BenchmarkRegistry()
+
+    @benchmark(
+        "tiny_sim",
+        headline="average_latency",
+        unit="cycles",
+        direction="lower",
+        registry=registry,
+    )
+    def tiny_sim(ctx):
+        from repro.core.config import SimulationConfig
+
+        packets = ctx.pick(quick=40, full=120)
+        result = ctx.run(
+            SimulationConfig(
+                width=4,
+                height=4,
+                router="roco",
+                routing="xy",
+                traffic="uniform",
+                injection_rate=0.1,
+                warmup_packets=10,
+                measure_packets=packets,
+                seed=11,
+            )
+        )
+        return Outcome(result.average_latency)
+
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# Registry and decorator
+
+
+def test_register_rejects_duplicate_name_across_modules():
+    registry = BenchmarkRegistry()
+    registry.register(
+        BenchSpec("dup", lambda ctx: 1.0, headline="x", module="mod_a")
+    )
+    # Same module re-registering is the idempotent re-import case.
+    registry.register(
+        BenchSpec("dup", lambda ctx: 1.0, headline="x", module="mod_a")
+    )
+    with pytest.raises(BenchbedError, match="dup"):
+        registry.register(
+            BenchSpec("dup", lambda ctx: 1.0, headline="x", module="mod_b")
+        )
+
+
+def test_register_rejects_bad_direction():
+    registry = BenchmarkRegistry()
+    with pytest.raises(BenchbedError, match="direction"):
+
+        @benchmark("bad", headline="x", direction="sideways", registry=registry)
+        def bad(ctx):
+            return 1.0
+
+
+def test_select_filters_by_glob():
+    registry = make_registry()
+
+    @benchmark("other_thing", headline="x", registry=registry)
+    def other(ctx):
+        return 1.0
+
+    assert [s.name for s in registry.select("tiny*")] == ["tiny_sim"]
+    assert [s.name for s in registry.select(None)] == ["other_thing", "tiny_sim"]
+    assert registry.select("nomatch*") == []
+
+
+def test_outcome_coercion():
+    assert Outcome.of(3).headline == 3.0
+    assert Outcome.of(Outcome(2.0)).headline == 2.0
+    with pytest.raises(BenchbedError, match="expected an"):
+        Outcome.of("not a number")
+    with pytest.raises(BenchbedError, match="expected an"):
+        Outcome.of(True)
+
+
+# ---------------------------------------------------------------------------
+# Thresholds (the bench_activity_core satellite contract)
+
+
+def test_threshold_floor_violation_is_a_contextual_assertion_error():
+    threshold = Threshold("speedup", floor=1.5)
+    assert threshold.check(1.6) == 1.6
+    with pytest.raises(AssertionError) as excinfo:
+        threshold.check(1.2, context="rate 0.1: 1.20x")
+    message = str(excinfo.value)
+    assert "speedup" in message
+    assert "floor" in message
+    assert "rate 0.1: 1.20x" in message
+    assert isinstance(excinfo.value, BenchThresholdError)
+
+
+def test_threshold_ceiling_violation():
+    with pytest.raises(BenchThresholdError, match="ceiling"):
+        Threshold("duty", ceiling=0.7).check(0.9)
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+
+
+def test_discovery_finds_all_registered_benchmarks():
+    registry = discover()
+    assert {spec.name for spec in registry.select(None)} >= EXPECTED_BENCHMARKS
+
+
+def test_discovery_is_idempotent():
+    before = {spec.name for spec in discover().select(None)}
+    after = {spec.name for spec in discover().select(None)}
+    assert before == after
+
+
+# ---------------------------------------------------------------------------
+# Runner determinism and artifact schema
+
+
+def test_quick_run_is_deterministic_and_schema_valid(tmp_path):
+    registry = make_registry()
+    (spec,) = registry.select("tiny_sim")
+    first = run_benchmark(spec, "quick")
+    second = run_benchmark(spec, "quick")
+    assert comparison_payload(first) == comparison_payload(second)
+    assert first["deterministic"] is True
+    assert first["tier"] == "quick"
+    assert first["seed"] == 11
+    assert first["cycles"] > 0
+    assert first["cycles_per_second"] is not None
+    assert first["scheduler"] is not None
+    assert "duty_cycle" in first["scheduler"]
+    validate_artifact(first)
+
+    path = write_artifact(first, tmp_path)
+    assert path.name == "BENCH_tiny_sim.json"
+    loaded = load_artifacts(tmp_path)
+    assert comparison_payload(loaded["tiny_sim"]) == comparison_payload(first)
+
+
+def test_full_tier_records_all_repeats():
+    registry = make_registry()
+    (spec,) = registry.select("tiny_sim")
+    artifact = run_benchmark(spec, "full", warmup=0, repeats=2)
+    assert len(artifact["wall_time_s"]["samples"]) == 2
+    assert len(artifact["headline_values"]) == 2
+    assert artifact["deterministic"] is True
+
+
+def test_profile_capture():
+    registry = make_registry()
+    (spec,) = registry.select("tiny_sim")
+    artifact = run_benchmark(spec, "quick", profile=True)
+    assert artifact["profile"], "expected cProfile hotspot rows"
+    row = artifact["profile"][0]
+    assert {"function", "calls", "cumulative_time_s"} <= set(row)
+
+
+def test_unknown_tier_rejected():
+    registry = make_registry()
+    (spec,) = registry.select("tiny_sim")
+    with pytest.raises(BenchbedError, match="tier"):
+        run_benchmark(spec, "medium")
+
+
+def test_validate_artifact_rejects_damage():
+    registry = make_registry()
+    (spec,) = registry.select("tiny_sim")
+    artifact = run_benchmark(spec, "quick")
+
+    missing = {k: v for k, v in artifact.items() if k != "headline"}
+    with pytest.raises(ValueError, match="headline"):
+        validate_artifact(missing)
+
+    wrong_version = copy.deepcopy(artifact)
+    wrong_version["schema_version"] = 999
+    with pytest.raises(ValueError, match="schema version"):
+        validate_artifact(wrong_version)
+
+    bad_direction = copy.deepcopy(artifact)
+    bad_direction["headline"]["direction"] = "sideways"
+    with pytest.raises(ValueError, match="direction"):
+        validate_artifact(bad_direction)
+
+    no_samples = copy.deepcopy(artifact)
+    no_samples["wall_time_s"]["samples"] = []
+    with pytest.raises(ValueError, match="samples"):
+        validate_artifact(no_samples)
+
+
+def test_quick_scale_preserves_mesh_and_trims_grids():
+    full = ExperimentScale(
+        name="full",
+        width=8,
+        height=8,
+        warmup_packets=500,
+        measure_packets=5000,
+        seeds=(1, 2, 3),
+        rates=(0.05, 0.10, 0.20, 0.30),
+        max_cycles=40_000,
+    )
+    quick = quick_scale(full)
+    assert (quick.width, quick.height) == (8, 8)
+    assert quick.rates == (0.05, 0.30)
+    assert quick.seeds == (1,)
+    assert quick.measure_packets <= 250
+    assert quick.warmup_packets <= 60
+
+
+def test_context_pick_and_scale():
+    ctx = BenchContext("quick")
+    assert ctx.quick
+    assert ctx.pick(quick=1, full=2) == 1
+    full = BenchContext("full")
+    assert full.pick(quick=1, full=2) == 2
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison gate
+
+
+def synthetic_artifact(
+    name="synth",
+    value=10.0,
+    wall=1.0,
+    direction="lower",
+    tier="quick",
+    floor=None,
+    ceiling=None,
+):
+    return {
+        "schema_version": 1,
+        "name": name,
+        "tier": tier,
+        "headline": {
+            "metric": "latency",
+            "unit": "cycles",
+            "direction": direction,
+            "value": value,
+            "floor": floor,
+            "ceiling": ceiling,
+        },
+        "seed": 7,
+        "config": {"simulations": 1},
+        "details": {},
+        "cycles": 1000,
+        "deterministic": True,
+        "headline_values": [value],
+        "wall_time_s": {
+            "warmup": 0,
+            "repeats": 1,
+            "samples": [wall],
+            "min": wall,
+            "mean": wall,
+            "median": wall,
+        },
+        "cycles_per_second": 1000.0,
+        "scheduler": None,
+        "environment": {},
+        "profile": None,
+    }
+
+
+def test_compare_identical_artifacts_passes():
+    old = {"synth": synthetic_artifact()}
+    report = compare_artifacts(old, copy.deepcopy(old))
+    assert report.exit_code == 0
+    assert report.deltas[0].status == "ok"
+
+
+def test_compare_flags_2x_wall_slowdown():
+    old = {"synth": synthetic_artifact(wall=1.0)}
+    new = {"synth": synthetic_artifact(wall=2.0)}
+    report = compare_artifacts(old, new)
+    assert report.exit_code == 1
+    (delta,) = report.deltas
+    assert delta.status == "regression"
+    assert delta.wall_delta == pytest.approx(1.0)
+    assert any("wall time" in note for note in delta.notes)
+
+
+def test_compare_ignores_wall_when_disabled():
+    old = {"synth": synthetic_artifact(wall=1.0)}
+    new = {"synth": synthetic_artifact(wall=2.0)}
+    report = compare_artifacts(old, new, check_wall=False)
+    assert report.exit_code == 0
+    assert "wall" not in report.render().splitlines()[0]
+
+
+def test_compare_headline_drift_is_direction_aware():
+    old = {"synth": synthetic_artifact(value=10.0, direction="lower")}
+    worse = {"synth": synthetic_artifact(value=10.5, direction="lower")}
+    better = {"synth": synthetic_artifact(value=9.5, direction="lower")}
+    assert compare_artifacts(old, worse).exit_code == 1
+    improved = compare_artifacts(old, better)
+    assert improved.exit_code == 0
+    assert improved.deltas[0].status == "improved"
+
+    old_up = {"synth": synthetic_artifact(value=10.0, direction="higher")}
+    worse_up = {"synth": synthetic_artifact(value=9.5, direction="higher")}
+    assert compare_artifacts(old_up, worse_up).exit_code == 1
+
+
+def test_compare_small_drift_within_threshold_passes():
+    old = {"synth": synthetic_artifact(value=10.0)}
+    new = {"synth": synthetic_artifact(value=10.1)}
+    report = compare_artifacts(old, new, headline_threshold=0.02)
+    assert report.exit_code == 0
+
+
+def test_compare_missing_and_new_benchmarks():
+    old = {
+        "kept": synthetic_artifact(name="kept"),
+        "gone": synthetic_artifact(name="gone"),
+    }
+    new = {
+        "kept": synthetic_artifact(name="kept"),
+        "added": synthetic_artifact(name="added"),
+    }
+    report = compare_artifacts(old, new)
+    by_name = {d.name: d for d in report.deltas}
+    assert by_name["gone"].status == "missing"
+    assert by_name["gone"].failed
+    assert by_name["added"].status == "new"
+    assert not by_name["added"].failed
+    assert report.exit_code == 1
+
+
+def test_compare_tier_mismatch_is_incomparable():
+    old = {"synth": synthetic_artifact(tier="full")}
+    new = {"synth": synthetic_artifact(tier="quick")}
+    report = compare_artifacts(old, new)
+    assert report.deltas[0].status == "incomparable"
+    assert report.exit_code == 1
+
+
+def test_compare_absolute_floor_beats_relative_threshold():
+    old = {"synth": synthetic_artifact(value=2.0, direction="higher", floor=1.5)}
+    new = {"synth": synthetic_artifact(value=1.0, direction="higher", floor=1.5)}
+    report = compare_artifacts(old, new)
+    (delta,) = report.deltas
+    assert delta.status == "regression"
+    assert any("floor" in note for note in delta.notes)
+
+
+def test_bootstrap_ci_brackets_a_real_shift():
+    old = [1.0, 1.02, 0.98, 1.01, 0.99]
+    new = [2.0, 2.04, 1.96, 2.02, 1.98]
+    ci = bootstrap_ci(old, new)
+    assert ci is not None
+    lo, hi = ci
+    assert lo <= 1.0 <= hi or (lo > 0.8 and hi < 1.2)
+    assert bootstrap_ci([1.0], [2.0]) is None
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def test_cli_compare_exit_codes(tmp_path):
+    old_dir = tmp_path / "old"
+    new_dir = tmp_path / "new"
+    old_dir.mkdir()
+    new_dir.mkdir()
+    write_artifact(synthetic_artifact(wall=1.0), old_dir)
+    write_artifact(synthetic_artifact(wall=2.0), new_dir)
+
+    assert bench_main(["compare", str(old_dir), str(old_dir)]) == 0
+    assert bench_main(["compare", str(old_dir), str(new_dir)]) == 1
+    assert (
+        bench_main(["compare", str(old_dir), str(new_dir), "--no-wall"]) == 0
+    )
+    assert (
+        bench_main(
+            ["compare", str(old_dir), str(new_dir), "--report-only"]
+        )
+        == 0
+    )
+    assert bench_main(["compare", str(tmp_path / "nope"), str(new_dir)]) == 2
+
+
+def test_cli_run_quick_filter_and_baseline(tmp_path):
+    out = tmp_path / "results"
+    code = bench_main(
+        ["--quick", "--filter", "table*", "--out", str(out)]
+    )
+    assert code == 0
+    produced = sorted(p.name for p in out.glob("BENCH_*.json"))
+    assert produced == [
+        "BENCH_table1_vc_config.json",
+        "BENCH_table2_matching.json",
+    ]
+    for path in out.glob("BENCH_*.json"):
+        validate_artifact(json.loads(path.read_text()))
+
+    # Self-comparison against the artifacts just produced: clean pass,
+    # and the baseline's other 19 benchmarks are not reported missing
+    # because --filter restricts the comparison to what actually ran.
+    code = bench_main(
+        [
+            "--quick",
+            "--filter",
+            "table*",
+            "--out",
+            str(tmp_path / "again"),
+            "--baseline",
+            str(out),
+            "--no-wall",
+        ]
+    )
+    assert code == 0
+
+
+def test_cli_run_rejects_unmatched_filter(tmp_path):
+    code = bench_main(
+        ["--quick", "--filter", "zzz*", "--out", str(tmp_path / "x")]
+    )
+    assert code == 2
+
+
+def test_cli_list_runs_without_artifacts(capsys, tmp_path):
+    code = bench_main(["--list", "--out", str(tmp_path / "unused")])
+    assert code == 0
+    captured = capsys.readouterr().out
+    for name in EXPECTED_BENCHMARKS:
+        assert name in captured
+    assert not (tmp_path / "unused").exists()
+
+
+def test_global_registry_matches_discovery():
+    discover()
+    names = {spec.name for spec in REGISTRY.select(None)}
+    assert EXPECTED_BENCHMARKS <= names

@@ -4,8 +4,6 @@ import pytest
 
 from repro.core.types import RoutingMode
 from repro.harness import (
-    QUICK,
-    ROUTERS,
     SCALES,
     ExperimentScale,
     averaged_point,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.simulator import Simulator
-from repro.core.types import Direction, NodeId
+from repro.core.types import NodeId
 from repro.faults import Component, ComponentFault
 from repro.instrumentation import (
     ActivityProbe,

@@ -164,7 +164,8 @@ class TestProgressAndWorkers:
         calls = []
         cache = ResultCache(tmp_path)
         executor = ParallelExecutor(
-            cache=cache, progress=lambda done, total, record: calls.append((done, total))
+            cache=cache,
+            progress=lambda done, total, record: calls.append((done, total)),
         )
         configs = [small_config(seed=s) for s in (1, 2)]
         executor.run_configs(configs)

@@ -4,9 +4,8 @@ from collections import Counter
 
 import pytest
 
-from repro.core.types import CARDINALS, Direction, RoutingMode
+from repro.core.types import Direction, RoutingMode
 from repro.routers.roco.path_set import (
-    COLUMN,
     ROW,
     table1_summary,
     vc_configuration,

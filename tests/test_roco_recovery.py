@@ -5,7 +5,7 @@ import pytest
 from repro.core.config import SimulationConfig
 from repro.core.network import Network
 from repro.core.simulator import run_simulation
-from repro.core.types import Direction, NodeId
+from repro.core.types import NodeId
 from repro.faults import Component, ComponentFault, apply_faults
 from repro.routers.roco.path_set import COLUMN, ROW
 

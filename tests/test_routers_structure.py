@@ -5,7 +5,7 @@ import pytest
 from repro.core.config import SimulationConfig
 from repro.core.network import Network
 from repro.core.types import Direction, NodeId, Packet
-from repro.routers import EJECT, GenericRouter, PathSensitiveRouter, RoCoRouter
+from repro.routers import EJECT, RoCoRouter
 from repro.routers.generic import GENERIC_PORTS
 from repro.routers.path_sensitive import QUADRANTS, quadrant_of
 from repro.routers.roco.router import classify_vc
@@ -57,7 +57,12 @@ class TestGenericStructure:
         net = network("generic")
         router = net.routers[NodeId(1, 1)]
         router.dead = True
-        assert router.vc_candidates(Direction.WEST, packet(NodeId(0, 1), NodeId(3, 1))) == []
+        assert (
+            router.vc_candidates(
+                Direction.WEST, packet(NodeId(0, 1), NodeId(3, 1))
+            )
+            == []
+        )
         assert router.injection_vc_for(packet(NodeId(1, 1), NodeId(3, 1))) is None
 
 
@@ -151,7 +156,9 @@ class TestRoCoStructure:
     def test_early_ejection_candidate(self):
         net = network("roco")
         router = net.routers[NodeId(2, 2)]
-        cands = router.vc_candidates(Direction.NORTH, packet(NodeId(2, 0), NodeId(2, 2)))
+        cands = router.vc_candidates(
+            Direction.NORTH, packet(NodeId(2, 0), NodeId(2, 2))
+        )
         assert cands == [(EJECT, Direction.LOCAL)]
 
     def test_guided_queuing_commits_route(self):
@@ -209,5 +216,7 @@ class TestRoCoStructure:
         net = network("roco")
         router = net.routers[NodeId(2, 2)]
         router.row.dead = True
-        cands = router.vc_candidates(Direction.NORTH, packet(NodeId(2, 0), NodeId(2, 2)))
+        cands = router.vc_candidates(
+            Direction.NORTH, packet(NodeId(2, 0), NodeId(2, 2))
+        )
         assert cands == [(EJECT, Direction.LOCAL)]

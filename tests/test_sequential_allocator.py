@@ -3,7 +3,7 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.arbiters.mirror import MirrorAllocator, max_possible_matching
+from repro.arbiters.mirror import max_possible_matching
 from repro.arbiters.sequential import SequentialAllocator
 
 from .test_mirror import reqs
