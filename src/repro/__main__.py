@@ -22,6 +22,14 @@ benchbed (see docs/benchmarking.md), or compare two artifact sets::
     python -m repro bench --quick --filter "fig8*" --out bench-results
     python -m repro bench --quick --baseline benchmarks/baseline --no-wall
     python -m repro bench compare benchmarks/baseline bench-results
+
+Audit mode — run with per-cycle invariant checking, shrink failures to
+minimal reproducers, or replay one (see docs/auditing.md)::
+
+    python -m repro audit --router roco --rate 0.2 --faults 2
+    python -m repro audit --rate 0.3 --shrink repro.json
+    python -m repro audit --replay repro.json
+    python -m repro audit --grid
 """
 
 from __future__ import annotations
@@ -309,6 +317,12 @@ def _run_sweep(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["audit"]:
+        # Invariant-audited runs, shrinking and reproducer replay; its
+        # argument surface is separate from the simulation flags above.
+        from repro.audit.cli import audit_main
+
+        return audit_main(argv[1:])
     if argv[:1] == ["bench"]:
         # Benchbed subcommand: registry runner + regression gate.  Its
         # argument surface is separate from the simulation flags above.

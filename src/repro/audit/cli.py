@@ -1,0 +1,283 @@
+"""``python -m repro audit`` — run simulations with invariant auditing.
+
+Modes:
+
+* single audited run (default): same simulation flags as the main CLI,
+  with auditing forced on; exits 1 on a violation.
+* ``--shrink FILE``: on violation, delta-debug the scenario down to a
+  minimal reproducer and save it as runnable JSON.
+* ``--replay FILE``: load a reproducer and re-run it under audit.
+* ``--grid``: the CI smoke matrix — a small rate x router x fault grid
+  under both schedulers, reporting per-cell wall time (report-only) and
+  failing the process on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.audit.invariants import InvariantViolation
+from repro.audit.shrink import load_reproducer, save_reproducer, shrink
+from repro.core.config import RouterConfig, SimulationConfig
+from repro.core.simulator import DeadlockError, Simulator, run_simulation
+from repro.core.types import NodeId
+from repro.faults.schedule import FaultSchedule
+from repro.routers import ROUTER_CLASSES
+from repro.traffic import TRAFFIC_CLASSES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro audit",
+        description="Run simulations with per-cycle invariant auditing",
+    )
+    parser.add_argument("--router", choices=sorted(ROUTER_CLASSES), default="roco")
+    parser.add_argument(
+        "--routing", choices=["xy", "xy-yx", "adaptive"], default="xy"
+    )
+    parser.add_argument(
+        "--traffic", choices=sorted(TRAFFIC_CLASSES), default="uniform"
+    )
+    parser.add_argument("--rate", type=float, default=0.2)
+    parser.add_argument("--size", type=int, default=8, help="mesh is size x size")
+    parser.add_argument("--topology", choices=["mesh", "torus"], default="mesh")
+    parser.add_argument("--packets", type=int, default=500, help="measured packets")
+    parser.add_argument("--warmup", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--full-sweep",
+        action="store_true",
+        help="step every router every cycle (reference scheduler)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=int,
+        default=1,
+        metavar="N",
+        help="audit every Nth cycle (location continuity needs 1)",
+    )
+    faults = parser.add_argument_group("faults")
+    faults.add_argument(
+        "--faults", type=int, default=0, help="runtime faults to sample"
+    )
+    faults.add_argument(
+        "--fault-class", choices=["critical", "non-critical"], default="critical"
+    )
+    faults.add_argument(
+        "--fault-schedule", default=None, metavar="FILE", help="JSON fault schedule"
+    )
+    faults.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        metavar="CYCLES",
+        help="mean time between sampled fault arrivals (default 500)",
+    )
+    faults.add_argument(
+        "--weibull-shape", type=float, default=None, metavar="K"
+    )
+    faults.add_argument(
+        "--transient", type=int, default=None, metavar="CYCLES"
+    )
+    modes = parser.add_argument_group("modes")
+    modes.add_argument(
+        "--shrink",
+        default=None,
+        metavar="FILE",
+        help="on violation, shrink the scenario and save a JSON reproducer",
+    )
+    modes.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-run a saved reproducer under audit",
+    )
+    modes.add_argument(
+        "--grid",
+        action="store_true",
+        help="run the CI smoke grid (rate x router x fault, both schedulers)",
+    )
+    return parser
+
+
+def _build_scenario(args) -> tuple[SimulationConfig, FaultSchedule | None]:
+    config = SimulationConfig(
+        width=args.size,
+        height=args.size,
+        topology=args.topology,
+        router=args.router,
+        routing=args.routing,
+        traffic=args.traffic,
+        injection_rate=args.rate,
+        warmup_packets=args.warmup,
+        measure_packets=args.packets,
+        seed=args.seed,
+        audit=True,
+    )
+    if args.fault_schedule is not None:
+        return config, FaultSchedule.from_json(args.fault_schedule)
+    if args.faults:
+        nodes = [NodeId(x, y) for y in range(args.size) for x in range(args.size)]
+        schedule = FaultSchedule.sampled(
+            nodes,
+            count=args.faults,
+            seed=args.seed,
+            mtbf=args.mtbf if args.mtbf is not None else 500.0,
+            critical=args.fault_class == "critical",
+            weibull_shape=args.weibull_shape,
+            duration=args.transient,
+            router_config=RouterConfig.for_architecture(args.router),
+        )
+        return config, schedule
+    return config, None
+
+
+def _describe(violation: InvariantViolation) -> None:
+    print(f"INVARIANT VIOLATION: {violation}", file=sys.stderr)
+
+
+def _run_audited(
+    config: SimulationConfig,
+    schedule: FaultSchedule | None,
+    full_sweep: bool = False,
+    interval: int = 1,
+) -> InvariantViolation | None:
+    sim = Simulator(config, schedule=schedule, full_sweep=full_sweep)
+    if sim.audit is not None:
+        sim.audit.interval = interval
+    try:
+        result = sim.run()
+    except InvariantViolation as violation:
+        return violation
+    except DeadlockError as exc:
+        print(f"run did not complete: {exc}", file=sys.stderr)
+        return None
+    print(result.summary_line())
+    return None
+
+
+def _run_single(args) -> int:
+    config, schedule = _build_scenario(args)
+    violation = _run_audited(
+        config, schedule, full_sweep=args.full_sweep, interval=args.interval
+    )
+    if violation is None:
+        print("audit: all invariants held", file=sys.stderr)
+        return 0
+    _describe(violation)
+    if args.shrink:
+        print("shrinking...", file=sys.stderr)
+        result = shrink(config, schedule)
+        save_reproducer(args.shrink, result.config, result.schedule, result.violation)
+        print(
+            f"reproducer saved to {args.shrink}: "
+            f"{result.config.total_packets} packet(s), "
+            f"{len(result.schedule) if result.schedule else 0} fault event(s), "
+            f"{result.runs} shrink run(s)",
+            file=sys.stderr,
+        )
+    return 1
+
+
+def _run_replay(args) -> int:
+    config, schedule, recorded = load_reproducer(args.replay)
+    print(
+        f"replaying {args.replay}: expecting [{recorded.get('invariant')}] "
+        f"around cycle {recorded.get('cycle')}",
+        file=sys.stderr,
+    )
+    violation = _run_audited(config, schedule, full_sweep=args.full_sweep)
+    if violation is None:
+        print("reproducer ran clean (violation did not reproduce)", file=sys.stderr)
+        return 1
+    _describe(violation)
+    return 0
+
+
+def _run_grid(args) -> int:
+    """The audit-smoke matrix: tiny audited runs across the state space.
+
+    Wall time is printed per cell but is report-only; the exit status
+    reflects invariant violations (and unexpected crashes) alone.
+    """
+    failures = 0
+    cells = 0
+    for router in ("roco", "generic"):
+        for rate in (0.05, 0.2):
+            for fault_count in (0, 2):
+                for full_sweep in (False, True):
+                    cells += 1
+                    config = SimulationConfig(
+                        width=4,
+                        height=4,
+                        router=router,
+                        routing="xy-yx" if router == "roco" else "xy",
+                        injection_rate=rate,
+                        warmup_packets=30,
+                        measure_packets=150,
+                        seed=args.seed,
+                        audit=True,
+                    )
+                    schedule = None
+                    if fault_count:
+                        nodes = [
+                            NodeId(x, y) for y in range(4) for x in range(4)
+                        ]
+                        schedule = FaultSchedule.sampled(
+                            nodes,
+                            count=fault_count,
+                            seed=args.seed,
+                            mtbf=150.0,
+                            critical=True,
+                            router_config=RouterConfig.for_architecture(router),
+                        )
+                    label = (
+                        f"{router:>8s} rate={rate:.2f} faults={fault_count} "
+                        f"{'full-sweep' if full_sweep else 'active'}"
+                    )
+                    started = time.perf_counter()
+                    try:
+                        run_simulation(
+                            config, schedule=schedule, full_sweep=full_sweep
+                        )
+                        status = "ok"
+                    except InvariantViolation as violation:
+                        failures += 1
+                        status = "VIOLATION"
+                        _describe(violation)
+                    except DeadlockError as exc:
+                        # A faulty grid cell may legally fail to drain;
+                        # a fault-free one may not.
+                        if fault_count:
+                            status = f"no-drain ({type(exc).__name__})"
+                        else:
+                            failures += 1
+                            status = f"DEADLOCK: {exc}"
+                    elapsed = time.perf_counter() - started
+                    print(f"{label}: {status} [{elapsed:.2f}s]")
+    print(
+        f"audit grid: {cells} cells, {failures} failure(s)",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+def audit_main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.interval < 1:
+        print("error: --interval must be >= 1", file=sys.stderr)
+        return 2
+    if args.replay is not None and args.grid:
+        print("error: --replay and --grid are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.grid:
+        return _run_grid(args)
+    if args.replay is not None:
+        return _run_replay(args)
+    return _run_single(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry convenience
+    sys.exit(audit_main())

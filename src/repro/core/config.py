@@ -86,6 +86,11 @@ class SimulationConfig:
     #: the run early (drain detection).
     drain_timeout: int = 2_000
     seed: int = 1
+    #: Opt-in runtime invariant auditing (repro.audit): per-cycle checks
+    #: of flit conservation, credit accounting, wormhole ordering,
+    #: allocation legality and flit location continuity.  Off by default —
+    #: the hot path then pays nothing beyond an ``is not None`` check.
+    audit: bool = False
 
     def __post_init__(self) -> None:
         if self.router_config is None:
@@ -98,6 +103,12 @@ class SimulationConfig:
             raise ValueError("injection rate must be within [0, 1] flits/node/cycle")
         if self.flits_per_packet < 1:
             raise ValueError("packets need at least one flit")
+        if self.measure_packets < 1:
+            # A run that can never start measurement would report vacuous
+            # statistics (zero injected packets); reject it up front.
+            raise ValueError("measure_packets must be >= 1")
+        if self.warmup_packets < 0:
+            raise ValueError("warmup_packets must be >= 0")
         if self.topology not in ("mesh", "torus"):
             raise ValueError(f"unknown topology {self.topology!r}")
         if self.topology == "torus":

@@ -219,11 +219,9 @@ class Network:
         self.stats.flit_delivered(packet.measured)
         if flit.closes_worm:
             packet.delivered_cycle = cycle
-            self.stats.packet_delivered(
-                packet,
-                packet.measured,
-                hops=self.topology.distance(packet.src, packet.dest),
-            )
+            # Report the links the head actually crossed; a detour (e.g.
+            # around a fault) makes this exceed the minimal distance.
+            self.stats.packet_delivered(packet, packet.measured, hops=packet.hops)
             if self.on_packet_delivered is not None:
                 self.on_packet_delivered(packet)
 

@@ -280,6 +280,26 @@ class Simulator:
         self.drop_listeners: list = []
         self.network.on_packet_delivered = self._on_packet_delivered
         self.network.on_packet_dropped = self._on_packet_dropped
+        #: Runtime invariant auditing (repro.audit), opt-in via
+        #: ``config.audit``.  Constructed here but attached at run()
+        #: time so observers installed in between are chained, not
+        #: rejected.
+        if config.audit:
+            from repro.audit.engine import AuditEngine
+
+            self.audit: AuditEngine | None = AuditEngine(self)
+        else:
+            self.audit = None
+
+    @property
+    def generated(self) -> int:
+        """Packets created so far (audit/diagnostic accounting)."""
+        return self._generated
+
+    @property
+    def outstanding(self) -> int:
+        """Packets created but not yet delivered or dropped."""
+        return self._outstanding
 
     def _refresh_gen_sources(self) -> None:
         """(Re)compute the nodes able to inject, in node order.
@@ -308,6 +328,8 @@ class Simulator:
         """
         config = self.config
         stats = self.network.stats
+        if self.audit is not None:
+            self.audit.attach()
         last_progress_cycle = 0
         last_signature = (-1, -1)
         cycle = 0
@@ -343,6 +365,8 @@ class Simulator:
                     self.stranded_census(cycle),
                 )
         self._drop_survivors(cycle)
+        if self.audit is not None:
+            self.audit.final_check(cycle)
         return self._build_result(cycle + 1)
 
     # ------------------------------------------------------------------

@@ -166,9 +166,10 @@ class StatsCollector:
             self.delivered_packets += 1
             self.latencies.append(packet.latency)
             if hops is None:
-                hops = abs(packet.dest.x - packet.src.x) + abs(
-                    packet.dest.y - packet.src.y
-                )
+                # Fall back to the traversals counted on the packet, not
+                # the Manhattan distance — a detoured or wrap-routed
+                # packet's real hop count differs from |dx| + |dy|.
+                hops = packet.hops
             self.hops.append(hops)
 
     def packet_dropped(
@@ -202,10 +203,26 @@ class StatsCollector:
         return sum(self.hops) / len(self.hops) if self.hops else 0.0
 
     @property
+    def measurement_started(self) -> bool:
+        """Whether any packet was injected during the measurement phase.
+
+        False means every packet-level metric below is vacuous — e.g. the
+        run ended before warm-up completed — and must not be read as a
+        perfect result.
+        """
+        return self.injected_packets > 0
+
+    @property
     def completion_probability(self) -> float:
-        """Received / injected — the paper's fault-tolerance metric."""
+        """Received / injected — the paper's fault-tolerance metric.
+
+        With zero injected packets nothing was proven delivered, so this
+        reports 0.0 (fail-safe) rather than a vacuous perfect 1.0;
+        :attr:`measurement_started` distinguishes "no traffic measured"
+        from "all measured traffic lost".
+        """
         if not self.injected_packets:
-            return 1.0
+            return 0.0
         return self.delivered_packets / self.injected_packets
 
     @property
@@ -216,7 +233,11 @@ class StatsCollector:
         return self.delivered_flits / self.measured_cycles / max(1, self.num_nodes)
 
     def summary(self) -> dict:
-        """Plain-dict snapshot used by the harness and reports."""
+        """Plain-dict snapshot used by the harness and reports.
+
+        ``measurement_started`` makes the zero-injected case explicit:
+        when False, the packet-level entries describe an empty sample.
+        """
         return {
             "average_latency": self.average_latency,
             "average_hops": self.average_hops,
@@ -225,4 +246,5 @@ class StatsCollector:
             "dropped_packets": self.dropped_packets,
             "completion_probability": self.completion_probability,
             "measured_cycles": self.measured_cycles,
+            "measurement_started": self.measurement_started,
         }

@@ -154,6 +154,12 @@ class Packet:
     yx_first: bool = False
     #: Number of flits of this packet delivered so far (for integrity checks).
     flits_delivered: int = 0
+    #: Links the worm's head flit actually crossed.  Incremented at every
+    #: launch onto an inter-router link, so delivered packets report real
+    #: traversals rather than the minimal src->dest distance (which a
+    #: detour — post-fault double-routing, non-minimal adaptive paths —
+    #: would under-report).
+    hops: int = 0
     #: True when created during the measurement phase (post-warm-up).
     measured: bool = False
 

@@ -57,7 +57,16 @@ class FlightRecorder:
     def __init__(self, max_events: int = 1_000_000) -> None:
         self.max_events = max_events
         self.events: list[TraceEvent] = []
+        #: Events discarded once ``max_events`` was reached.  Non-zero
+        #: means every reconstruction below may be missing the tail of the
+        #: run — check :attr:`truncated` before trusting a journey.
+        self.dropped_events = 0
         self._by_packet: dict[int, list[TraceEvent]] = defaultdict(list)
+
+    @property
+    def truncated(self) -> bool:
+        """True when at least one event was discarded at the cap."""
+        return self.dropped_events > 0
 
     # -- emission (called from the routers) -----------------------------
 
@@ -70,6 +79,7 @@ class FlightRecorder:
         detail: str = "",
     ) -> None:
         if len(self.events) >= self.max_events:
+            self.dropped_events += 1
             return
         event = TraceEvent(cycle, kind, flit.packet.pid, flit.seq, node, detail)
         self.events.append(event)
@@ -125,11 +135,22 @@ class FlightRecorder:
         return {n: sum(v) / len(v) for n, v in sums.items()}
 
     def format_journey(self, pid: int) -> str:
-        """Human-readable one-packet flight log."""
+        """Human-readable one-packet flight log.
+
+        When the recorder hit its event cap the log ends with an explicit
+        truncation note, so a partial trace cannot masquerade as the
+        packet's complete flight.
+        """
         lines = [f"packet {pid}:"]
         for event in self._by_packet.get(pid, []):
             lines.append(
                 f"  c{event.cycle:>6} {event.kind.value:>8} flit {event.flit_seq}"
                 f" @ {event.node} {event.detail}"
+            )
+        if self.truncated:
+            lines.append(
+                f"  [trace truncated: {self.dropped_events} event(s) dropped"
+                f" past the {self.max_events}-event cap; journey may be"
+                " incomplete]"
             )
         return "\n".join(lines)

@@ -482,6 +482,10 @@ class BaseRouter(abc.ABC):
             self.network.eject(flit, self.node, cycle, early=False)
             return
         flit.vc_hint = target
+        if flit.is_head:
+            # Hop accounting counts real link traversals, not the
+            # minimal distance — the head threads the path for the worm.
+            flit.packet.hops += 1
         if self.network.trace is not None:
             from repro.instrumentation.trace import EventKind
 

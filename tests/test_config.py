@@ -58,8 +58,18 @@ class TestSimulationConfig:
             {"injection_rate": -0.1},
             {"injection_rate": 1.5},
             {"flits_per_packet": 0},
+            {"measure_packets": 0},
+            {"warmup_packets": -1},
         ],
     )
     def test_validation(self, bad):
         with pytest.raises(ValueError):
             SimulationConfig(**bad)
+
+    def test_zero_warmup_is_legal(self):
+        cfg = SimulationConfig(warmup_packets=0, measure_packets=20)
+        assert cfg.total_packets == 20
+
+    def test_audit_defaults_off(self):
+        assert SimulationConfig().audit is False
+        assert SimulationConfig(audit=True).audit is True

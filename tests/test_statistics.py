@@ -63,17 +63,42 @@ class TestDerivedMetrics:
         assert stats.completion_probability == 0.25
         assert stats.dropped_packets == 1
 
-    def test_completion_is_one_with_no_traffic(self):
-        assert StatsCollector().completion_probability == 1.0
+    def test_completion_is_fail_safe_with_no_traffic(self):
+        # Zero injected packets proves nothing delivered: completion is
+        # 0.0, not a vacuous perfect score, and the summary says so.
+        stats = StatsCollector()
+        assert stats.completion_probability == 0.0
+        assert stats.measurement_started is False
+        assert stats.summary()["measurement_started"] is False
+
+    def test_measurement_started_once_injected(self):
+        stats = StatsCollector()
+        stats.start_measurement(0)
+        stats.packet_created(packet())
+        assert stats.measurement_started is True
+        assert stats.summary()["measurement_started"] is True
 
     def test_average_hops(self):
         stats = StatsCollector()
         stats.start_measurement(0)
-        p = packet(dest=(3, 1))  # 3 + 1 hops
+        p = packet(dest=(3, 1))
+        p.hops = 4  # the links the head actually crossed
         stats.packet_created(p)
         p.delivered_cycle = 9
         stats.packet_delivered(p, True)
         assert stats.average_hops == 4.0
+
+    def test_hops_fallback_reports_real_traversals_not_distance(self):
+        # A detoured worm crossed more links than the Manhattan minimum;
+        # the fallback must report the packet's counted traversals.
+        stats = StatsCollector()
+        stats.start_measurement(0)
+        p = packet(dest=(2, 1))  # minimal distance 3
+        p.hops = 5
+        stats.packet_created(p)
+        p.delivered_cycle = 12
+        stats.packet_delivered(p, True)
+        assert stats.average_hops == 5.0
 
     def test_throughput_normalised_per_node(self):
         stats = StatsCollector(num_nodes=4)

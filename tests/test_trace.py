@@ -3,10 +3,17 @@
 import pytest
 
 from repro.core.simulator import Simulator
-from repro.core.types import NodeId
+from repro.core.types import NodeId, Packet, make_packet_flits
 from repro.instrumentation import EventKind, FlightRecorder
 
 from .conftest import small_config
+
+
+def _head_flit(pid: int = 0):
+    packet = Packet(
+        pid=pid, src=NodeId(0, 0), dest=NodeId(2, 0), size=4, created_cycle=0
+    )
+    return make_packet_flits(packet)[0]
 
 
 @pytest.fixture(scope="module")
@@ -101,6 +108,72 @@ class TestJourneys:
         text = recorder.format_journey(pid)
         assert f"packet {pid}" in text
         assert "inject" in text and "eject" in text
+        assert "truncated" not in text  # uncapped run: no caveat
+
+
+class TestRevisitedNodes:
+    """A detoured head can visit the same router twice; reconstruction
+    must keep both visits instead of collapsing or mis-pairing them."""
+
+    A, B = NodeId(0, 0), NodeId(1, 0)
+
+    def _record_loop(self) -> FlightRecorder:
+        recorder = FlightRecorder()
+        head = _head_flit()
+        recorder.record(0, EventKind.INJECT, head, self.A)
+        recorder.record(0, EventKind.BUFFER, head, self.A)
+        recorder.record(2, EventKind.TRAVERSE, head, self.A)
+        recorder.record(4, EventKind.BUFFER, head, self.B)
+        recorder.record(5, EventKind.TRAVERSE, head, self.B)
+        recorder.record(7, EventKind.BUFFER, head, self.A)
+        recorder.record(9, EventKind.EJECT, head, self.A)
+        return recorder
+
+    def test_journey_keeps_both_visits(self):
+        assert self._record_loop().journey(0) == [self.A, self.B, self.A]
+
+    def test_hop_timings_pair_each_visit_separately(self):
+        timings = self._record_loop().hop_timings(0)
+        assert [(t.node, t.arrived, t.departed) for t in timings] == [
+            (self.A, 0, 2),
+            (self.B, 4, 5),
+            (self.A, 7, 9),
+        ]
+        assert all(t.dwell >= 1 for t in timings)
+
+
+class TestTruncationIsExplicit:
+    def test_dropped_events_counted(self):
+        recorder = FlightRecorder(max_events=2)
+        head = _head_flit()
+        for cycle in range(5):
+            recorder.record(cycle, EventKind.BUFFER, head, NodeId(0, 0))
+        assert len(recorder.events) == 2
+        assert recorder.dropped_events == 3
+        assert recorder.truncated is True
+
+    def test_untruncated_recorder_reports_clean(self):
+        recorder = FlightRecorder(max_events=10)
+        recorder.record(0, EventKind.BUFFER, _head_flit(), NodeId(0, 0))
+        assert recorder.truncated is False
+        assert recorder.dropped_events == 0
+
+    def test_format_journey_carries_truncation_note(self):
+        recorder = FlightRecorder(max_events=2)
+        head = _head_flit()
+        for cycle in range(6):
+            recorder.record(cycle, EventKind.BUFFER, head, NodeId(0, 0))
+        text = recorder.format_journey(0)
+        assert "trace truncated: 4 event(s) dropped" in text
+        assert "journey may be incomplete" in text
+
+    def test_simulated_capped_run_flags_truncation(self):
+        recorder = FlightRecorder(max_events=3)
+        sim = Simulator(small_config(measure_packets=60))
+        sim.network.trace = recorder
+        sim.run()
+        assert recorder.truncated
+        assert recorder.dropped_events > 0
 
 
 class TestOverheadFreeWhenDetached:
