@@ -1,0 +1,188 @@
+"""Struct-of-arrays backend: simulated cycles/sec over the object model.
+
+Times matched pairs of runs — ``backend="object"`` vs ``backend="soa"``
+on identical configs — and asserts that (a) the records are
+bit-identical (the conformance grid's contract, re-checked on the cells
+we time) and (b) the SoA engine simulates at least 5x as many cycles
+per second on the featured cell: the paper's 8x8 RoCo mesh under
+uniform traffic at 0.05 flits/node/cycle with the full-sweep scheduler.
+
+Full-sweep at low load is where the array engine's structural wins —
+no per-flit objects, occupancy masks instead of attribute-chasing
+sweeps — show up purest, and it is the regime the large fault-sweep
+studies run in.  The other cells are informational: the generic router
+(more allocator work per router-cycle) and a loaded active-scheduler
+point, where both backends skip dormant routers and the gap legally
+narrows.
+
+Methodology matches ``bench_activity_core``: CPU time via
+``process_time``, min over repeated interleaved pairs — external load
+only ever adds time, so the minimum is the most reproducible estimator.
+The registered *headline* is the deterministic conformant-cell fraction
+(the regression gate's drift check needs a noise-free metric); the
+measured speedup rides in the artifact's details and is floored at 5x
+inside the benchmark itself, so a quick-tier benchbed run fails loudly
+if the array engine loses its edge.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from conftest import once
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import run_simulation
+from repro.harness.benchbed import Outcome, Threshold, benchmark
+from repro.harness.export import result_record
+
+#: Required SoA/object cycles-per-second ratio on the featured cell.
+SPEEDUP_FLOOR = 5.0
+
+#: Repeated pairs on the featured cell; min-of-N absorbs machine noise.
+REPEATS = 5
+
+#: (label, injection rate, full_sweep, router).  First row is featured.
+CELLS = (
+    ("roco-sweep", 0.05, True, "roco"),
+    ("generic-sweep", 0.05, True, "generic"),
+    ("roco-active", 0.20, False, "roco"),
+)
+
+
+def cell_config(
+    rate: float, router: str, warmup: int = 150, measure: int = 900
+) -> SimulationConfig:
+    return SimulationConfig(
+        width=8,
+        height=8,
+        router=router,
+        routing="xy",
+        traffic="uniform",
+        injection_rate=rate,
+        seed=7,
+        warmup_packets=warmup,
+        measure_packets=measure,
+        max_cycles=40_000,
+    )
+
+
+def timed_pair(config: SimulationConfig, full_sweep: bool):
+    """One interleaved object/SoA pair on the same config."""
+    t0 = time.process_time()
+    reference = run_simulation(config, full_sweep=full_sweep)
+    t1 = time.process_time()
+    fast = run_simulation(replace(config, backend="soa"), full_sweep=full_sweep)
+    t2 = time.process_time()
+    return reference, fast, t1 - t0, t2 - t1
+
+
+def measure(
+    cells=CELLS,
+    repeats: int = REPEATS,
+    warmup: int = 150,
+    measure_pkts: int = 900,
+    absorb=None,
+):
+    rows = []
+    for index, (label, rate, full_sweep, router) in enumerate(cells):
+        pair_count = repeats if index == 0 else 2
+        object_times, soa_times = [], []
+        cycles = None
+        match = True
+        for _ in range(pair_count):
+            config = cell_config(rate, router, warmup, measure_pkts)
+            reference, fast, t_obj, t_soa = timed_pair(config, full_sweep)
+            match = match and result_record(fast) == result_record(reference)
+            if absorb is not None:
+                absorb(reference)
+                absorb(fast)
+            object_times.append(t_obj)
+            soa_times.append(t_soa)
+            cycles = reference.cycles
+        t_obj, t_soa = min(object_times), min(soa_times)
+        rows.append(
+            {
+                "cell": label,
+                "match": match,
+                "cycles": cycles,
+                "object_s": t_obj,
+                "soa_s": t_soa,
+                "object_cps": cycles / max(t_obj, 1e-9),
+                "soa_cps": cycles / max(t_soa, 1e-9),
+                "speedup": t_obj / max(t_soa, 1e-9),
+            }
+        )
+    return rows
+
+
+def render_rows(rows) -> str:
+    lines = [
+        f"{'cell':>14} {'match':>5} {'cycles':>7} {'object':>9} {'soa':>9} "
+        f"{'obj c/s':>9} {'soa c/s':>9} {'speedup':>8}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['cell']:>14} {'yes' if row['match'] else 'NO':>5} "
+            f"{row['cycles']:>7} {row['object_s']:>8.3f}s "
+            f"{row['soa_s']:>8.3f}s {row['object_cps']:>9.0f} "
+            f"{row['soa_cps']:>9.0f} {row['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+@benchmark(
+    "backend_soa",
+    headline="conformant_cells",
+    unit="fraction",
+    direction="higher",
+    floor=1.0,
+)
+def bench(ctx):
+    """Fraction of timed cells where both backends agree bit-for-bit."""
+    cells = ctx.pick(quick=CELLS[:1], full=CELLS)
+    repeats = ctx.pick(quick=2, full=REPEATS)
+    warmup, measure_pkts = ctx.pick(quick=(60, 250), full=(150, 900))
+    rows = measure(cells, repeats, warmup, measure_pkts, absorb=ctx.absorb)
+    table = render_rows(rows)
+    Threshold("soa_conformant_cells", floor=1.0).check(
+        sum(row["match"] for row in rows) / len(rows), context=table
+    )
+    # The perf contract lives here rather than in the headline: the
+    # featured cell must clear 5x on every tier, quick included.
+    Threshold("soa_speedup_roco_sweep", floor=SPEEDUP_FLOOR).check(
+        rows[0]["speedup"], context=table
+    )
+    return Outcome(
+        sum(row["match"] for row in rows) / len(rows),
+        details={
+            "rows": rows,
+            "speedup_featured": rows[0]["speedup"],
+            "soa_cps_featured": rows[0]["soa_cps"],
+        },
+    )
+
+
+def test_backend_soa_speedup(benchmark):
+    rows = once(benchmark, measure)
+    print()
+    print(render_rows(rows))
+
+    assert all(row["match"] for row in rows), "backends diverged on a timed cell"
+    featured = rows[0]
+    assert featured["cell"] == "roco-sweep"
+    # Headline criterion: the array engine must simulate >= 5x the
+    # cycles/sec of the object model on the featured cell.  The benchbed
+    # threshold carries the measured table into the failure message.
+    Threshold("soa_speedup_roco_sweep", floor=SPEEDUP_FLOOR).check(
+        featured["speedup"], context=render_rows(rows)
+    )
+    # The informational cells must still be wins, just not 5x ones: the
+    # generic router spends more of its time in allocator logic shared
+    # by both backends, and the active scheduler already skips dormant
+    # routers for the object model.
+    for row in rows[1:]:
+        Threshold(f"soa_speedup_{row['cell']}", floor=1.2).check(
+            row["speedup"], context=render_rows(rows)
+        )

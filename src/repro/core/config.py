@@ -91,6 +91,12 @@ class SimulationConfig:
     #: allocation legality and flit location continuity.  Off by default —
     #: the hot path then pays nothing beyond an ``is not None`` check.
     audit: bool = False
+    #: Execution backend: ``"object"`` is the reference per-flit object
+    #: model; ``"soa"`` is the struct-of-arrays fast path
+    #: (``repro.core.soa``), bit-identical on its supported envelope and
+    #: raising ``BackendUnsupportedError`` outside it (see
+    #: docs/vectorized-core.md).
+    backend: str = "object"
 
     def __post_init__(self) -> None:
         if self.router_config is None:
@@ -109,6 +115,8 @@ class SimulationConfig:
             raise ValueError("measure_packets must be >= 1")
         if self.warmup_packets < 0:
             raise ValueError("warmup_packets must be >= 0")
+        if self.backend not in ("object", "soa"):
+            raise ValueError(f"unknown backend {self.backend!r}")
         if self.topology not in ("mesh", "torus"):
             raise ValueError(f"unknown topology {self.topology!r}")
         if self.topology == "torus":

@@ -593,7 +593,23 @@ def run_simulation(
     compose).  ``full_sweep=True`` disables activity-driven scheduling
     and steps every router every cycle — slower, but useful for
     differential validation of the active-set scheduler.
+
+    ``config.backend`` selects the execution engine: ``"object"`` runs
+    this module's reference :class:`Simulator`; ``"soa"`` dispatches to
+    the struct-of-arrays fast path (:mod:`repro.core.soa`), which is
+    bit-identical on its supported envelope and raises
+    ``BackendUnsupportedError`` outside it (see docs/vectorized-core.md).
     """
+    if config.backend != "object":
+        from repro.core.soa.engine import run_soa_simulation
+
+        return run_soa_simulation(
+            config,
+            traffic=traffic,
+            faults=faults,
+            schedule=schedule,
+            full_sweep=full_sweep,
+        )
     return Simulator(
         config,
         traffic=traffic,

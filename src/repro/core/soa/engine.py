@@ -1,0 +1,1328 @@
+"""The struct-of-arrays fast backend (``backend="soa"``).
+
+A transliteration of the object-model hot loop (Simulator / Network /
+routers / arbiters) onto flat integer state: one *slot* per virtual
+channel (see :mod:`repro.core.soa.layout`), flits identified as
+``fid = pid * flits_per_packet + seq``, directions as their ``Direction``
+int values, and the EJECT pseudo-target as :data:`EJECT_CODE`.  All
+structural decisions (admission candidate order, injection scan order,
+route candidates) come from layout tables built by introspecting a real
+object-model network, so the kernels only replicate the *dynamic* logic:
+credit bookkeeping, the VC/switch allocators, and link advancement.
+
+The contract is bit-identity with the object backend on the supported
+envelope (see :func:`repro.core.soa.errors.ensure_supported`), pinned by
+tests/test_backend_conformance.py.  Every loop below mirrors a specific
+reference code path, including its quirks — the one-cycle-stale credit
+view of ``injection_vc_for``, the discarded re-requests of final-round
+VA losers (which still bump ``va_requests``), and the contention tally
+that walks *all* of a router's VCs once per allocator invocation.
+
+Speed comes from what is *not* here: no per-flit objects, no per-call
+candidate list construction, no dict-keyed port lookups, no trace hooks
+— plus activity-driven scheduling identical to the object scheduler's.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import SimulationConfig
+from repro.core.soa.errors import ensure_supported
+from repro.core.soa.layout import EJECT_CODE, LOCAL, NONE_CODE, build_layout
+from repro.core.statistics import (
+    ActivityCounters,
+    ContentionCounters,
+    SchedulerCounters,
+    StatsCollector,
+)
+from repro.core.types import DropReason, RoutingMode
+from repro.energy.model import EnergyModel
+from repro.metrics.latency import LatencySummary
+from repro.routing.xyyx import choose_variant
+from repro.traffic import TrafficPattern, make_traffic
+
+# Re-exported for callers that catch the object backend's exceptions.
+from repro.core.simulator import (  # noqa: F401  (re-export)
+    DrainTimeoutError,
+    SimulationResult,
+    StrandedCensus,
+)
+
+
+def _rr(state: list[int], idx: int, requests) -> int | None:
+    """One round-robin grant on arbiter ``idx`` of an int-state vector.
+
+    Mirrors :class:`repro.arbiters.round_robin.RoundRobinArbiter.grant`:
+    scan from the stored priority pointer, grant the first requester,
+    advance the pointer past the winner.
+    """
+    n = len(requests)
+    i = state[idx]
+    for _ in range(n):
+        if i >= n:
+            i -= n
+        if requests[i]:
+            state[idx] = i + 1 if i + 1 < n else 0
+            return i
+        i += 1
+    return None
+
+
+def _mirror_allocate(state: list[int], requests) -> list[tuple[int, int, int]]:
+    """MirrorAllocator.allocate on an int-state vector.
+
+    ``state`` is ``[l00, l01, l10, l11, global]`` — the four local v:1
+    arbiters (port x direction-slot) and the single global 2:1 arbiter.
+    Returns ``(port, direction_slot, vc_index)`` grants.
+    """
+    p1_req, p2_req = requests
+    l00 = _rr(state, 0, p1_req[0]) if True in p1_req[0] else None
+    l01 = _rr(state, 1, p1_req[1]) if True in p1_req[1] else None
+    l10 = _rr(state, 2, p2_req[0]) if True in p2_req[0] else None
+    l11 = _rr(state, 3, p2_req[1]) if True in p2_req[1] else None
+    p2_has = (l10 is not None, l11 is not None)
+    if l00 is not None or l01 is not None:
+        score0 = (2 if p2_has[1] else 1) if l00 is not None else -1
+        score1 = (2 if p2_has[0] else 1) if l01 is not None else -1
+        if score0 == score1:
+            slot1 = _rr(state, 4, (True, True))
+        else:
+            slot1 = 0 if score0 > score1 else 1
+            # Keep the global arbiter's state consistent with the choice.
+            _rr(state, 4, (slot1 == 0, slot1 == 1))
+        grants = [(0, slot1, l00 if slot1 == 0 else l01)]
+        if slot1 == 0:
+            if l11 is not None:
+                grants.append((1, 1, l11))
+        elif l10 is not None:
+            grants.append((1, 0, l10))
+        return grants
+    if p2_has[0] or p2_has[1]:
+        slot2 = _rr(state, 4, p2_has)
+        return [(1, slot2, l10 if slot2 == 0 else l11)]
+    return []
+
+
+def _sequential_allocate(state: list[int], requests) -> list[tuple[int, int, int]]:
+    """SequentialAllocator.allocate (mirror-ablation) on int state.
+
+    ``state`` is ``[port0, port1, dir0, dir1]``.
+    """
+    num_vcs = len(requests[0][0])
+    nominees: list[tuple[int, int] | None] = [None, None]
+    for port in range(2):
+        flat = [requests[port][0][v] or requests[port][1][v] for v in range(num_vcs)]
+        if not any(flat):
+            continue
+        vc = _rr(state, port, flat)
+        slot = 0 if requests[port][0][vc] else 1
+        nominees[port] = (slot, vc)
+    grants: list[tuple[int, int, int]] = []
+    for slot in range(2):
+        lines = [
+            nominees[port] is not None and nominees[port][0] == slot
+            for port in range(2)
+        ]
+        if not any(lines):
+            continue
+        port = _rr(state, 2 + slot, lines)
+        grants.append((port, slot, nominees[port][1]))
+    return grants
+
+
+class SoASimulator:
+    """One end-to-end run on the struct-of-arrays backend.
+
+    Drop-in equivalent of :class:`repro.core.simulator.Simulator` for
+    the supported envelope; :meth:`run` returns the same
+    :class:`SimulationResult`.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        traffic: TrafficPattern | None = None,
+        faults=None,
+        *,
+        schedule=None,
+        full_sweep: bool = False,
+    ) -> None:
+        ensure_supported(config, faults=faults, schedule=schedule)
+        self.config = config
+        self.layout = build_layout(config)
+        self.full_sweep = full_sweep
+        self.rng = random.Random(config.seed)
+        self.traffic = traffic if traffic is not None else make_traffic(config.traffic)
+        self.traffic.bind(config, self.rng, self.layout.nodes)
+        #: True when the pattern inherits the base Bernoulli ``arrivals``
+        #: verbatim — lets _generate inline the draw.
+        self._bernoulli = type(self.traffic).arrivals is TrafficPattern.arrivals
+        self.faults: list = []
+        lay = self.layout
+        self.N = lay.N
+        self.S = lay.S
+        self.F = lay.F
+        self.V = lay.vcs_per_port
+        depth = config.router_config.buffer_depth
+
+        # -- per-slot (VC) state -----------------------------------------
+        S = self.S
+        self.q: list[list[int]] = [[] for _ in range(S)]
+        self.out_dir = [NONE_CODE] * S
+        self.out_vc = [NONE_CODE] * S
+        self.apid = [NONE_CODE] * S  # active_pid
+        self.owner = [NONE_CODE] * S  # owner_pid
+        self.expected = [0] * S
+        self.avail = [depth] * S
+        self.rel: list[list[int]] = [[] for _ in range(S)]
+
+        # -- per-router state ---------------------------------------------
+        N = self.N
+        self.r_active = [False] * N
+        self.sa_win: list[list[tuple[int, int, int]]] = [[] for _ in range(N)]
+        #: Routers with pending SA winners, in ascending (row-major)
+        #: order — appended by ``_commit`` on a router's first grant of
+        #: the cycle (allocate runs in ascending order), drained by the
+        #: traversal phase.  Lets phase 2 skip the full router scan.
+        self.sa_routers: list[int] = []
+        #: RoCo's O(1) quiescence snapshot (``_alloc_occupied``).
+        self.r_occupied = [False] * N
+        #: Per-router occupancy bitmask over the allocate-phase walk
+        #: order: bit i of ``occ_mask[n]`` is set iff the queue of
+        #: ``bit_slot[n][i]`` is non-empty.  Because bits are assigned in
+        #: walk order, iterating set bits ascending IS the reference VA
+        #: walk restricted to occupied VCs — and skipping empty VCs is
+        #: observably a no-op on every reference path (including
+        #: full-sweep, whose unconditional loops only ``continue`` on
+        #: them).  Maintained at the four queue-mutation sites: link
+        #: delivery and switch traversal (both inlined in _net_step),
+        #: _inject, and the defensive RoCo eject.
+        self.occ_mask = [0] * N
+        self.bit_slot: list[list[int]] = []
+        self.slot_bitmask = [0] * S
+        if lay.arch == "generic":
+            for n in range(N):
+                walk = [s for port in lay.gen_port_slots[n] for s in port]
+                self.bit_slot.append(walk)
+                for i, s in enumerate(walk):
+                    self.slot_bitmask[s] = 1 << i
+            # [sa1 x5 | sa2 x5] round-robin pointers per router.
+            self.arb = [[0] * 10 for _ in range(N)]
+            self._allocate = self._allocate_generic
+            # Admission for a mesh generic router is every VC of the
+            # facing input port, route computed locally (None).
+            self._gen_adm = [
+                tuple(
+                    tuple((t, NONE_CODE) for t in lay.gen_port_slots[m][d])
+                    for d in range(5)
+                )
+                for m in range(N)
+            ]
+        else:
+            for n in range(N):
+                walk = [
+                    s
+                    for module in lay.roco_ports[n]
+                    for port in module
+                    for s in port
+                ]
+                self.bit_slot.append(walk)
+                for i, s in enumerate(walk):
+                    self.slot_bitmask[s] = 1 << i
+            # Two modules x (5 mirror pointers or 4 sequential pointers).
+            width = 5 if lay.mirror else 4
+            self.arb = [[[0] * width, [0] * width] for _ in range(N)]
+            self._allocate = self._allocate_roco
+            #: Bits of one module's slots within ``occ_mask`` (module mi
+            #: occupies bits ``mi*2V .. mi*2V+2V-1``).
+            self._mod_bits = 2 * self.V
+            self._mod_mask = (1 << self._mod_bits) - 1
+        self._va_iterations = 2 if lay.arch == "roco" else 1
+
+        # -- link / wake state (shared: the wake bucket IS the link) ------
+        #: cycle -> [(receiver_node, input_dir, fid), ...] in launch order.
+        self.wake: dict[int, list[tuple[int, int, int]]] = {}
+
+        # -- per-source state ---------------------------------------------
+        self.s_queue: list[list[int]] = [[] for _ in range(N)]
+        #: fid of the next flit of the worm being streamed, or -1.
+        self.s_cur = [NONE_CODE] * N
+        self.s_vc = [NONE_CODE] * N
+        #: Sources with work (queue non-empty or a worm streaming) — the
+        #: run loop's inject scan visits only these.  ``Source.inject``
+        #: is a strict no-op (no rng, no state) for an idle source.
+        self.src_busy: set[int] = set()
+
+        # -- per-packet / per-flit arrays ----------------------------------
+        self.p_src: list[int] = []
+        self.p_dest: list[int] = []
+        self.p_created: list[int] = []
+        self.p_injected: list[int] = []
+        self.p_delivered: list[int] = []
+        self.p_dropped: list[int] = []
+        self.p_yx: list[int] = []
+        self.p_fdel: list[int] = []
+        self.p_hops: list[int] = []
+        self.p_meas: list[bool] = []
+        self.f_route: list[int] = []
+        self.f_look: list[int] = []
+        self.f_hint: list[int] = []
+        self.f_arrival: list[int] = []
+
+        # -- run accounting (flushed into a StatsCollector at the end) ----
+        self.generated = 0
+        self.outstanding = 0
+        self.net_cycle = 0  # Network.cycle: set at step time, stale during injection
+        self._measuring = False
+        self._measure_start: int | None = None
+        self.latencies: list[int] = []
+        self.hops_list: list[int] = []
+        self.injected_packets = 0
+        self.delivered_packets = 0
+        self.dropped_packets = 0
+        self.delivered_flits = 0
+        self.total_delivered = 0
+        self.total_dropped = 0
+        self.drops_by_reason: dict[DropReason, int] = {}
+        self.measured_cycles = 0
+        # ActivityCounters fields, as locals-friendly ints.
+        self.bw = 0  # buffer_writes
+        self.br = 0  # buffer_reads
+        self.xb = 0  # crossbar_traversals
+        self.va = 0  # va_requests
+        self.sa = 0  # sa_requests
+        self.lf = 0  # link_flits
+        self.ee = 0  # early_ejections
+        # ContentionCounters fields.
+        self.row_req = 0
+        self.row_cont = 0
+        self.col_req = 0
+        self.col_cont = 0
+        # SchedulerCounters fields.
+        self.sched_cycles = 0
+        self.sched_steps = 0
+        self.sched_slots = 0
+        self.sched_wakeups = 0
+        self.sched_sleeps = 0
+
+    # ------------------------------------------------------------------
+    # Credits / scheduling primitives
+    # ------------------------------------------------------------------
+
+    def _credits(self, s: int, cycle: int) -> int:
+        """``VirtualChannel.credits``: lazily mature pending releases."""
+        rel = self.rel[s]
+        if rel and rel[0] <= cycle:
+            avail = self.avail[s]
+            while rel and rel[0] <= cycle:
+                del rel[0]
+                avail += 1
+            self.avail[s] = avail
+        return self.avail[s]
+
+    def _wake(self, n: int) -> None:
+        """``BaseRouter.wake``: join the active set, count the wakeup."""
+        if not self.r_active[n]:
+            self.r_active[n] = True
+            self.sched_wakeups += 1
+
+    # ------------------------------------------------------------------
+    # Generation and injection (Simulator._generate / Source.inject)
+    # ------------------------------------------------------------------
+
+    def _generate(self, cycle: int) -> None:
+        total = self.config.total_packets
+        s_queue = self.s_queue
+        nodes = self.layout.nodes
+        if self._bernoulli:
+            # The pattern uses the base-class Bernoulli arrivals: one
+            # rng.random() per node per cycle against a constant rate —
+            # inlined with the identical draw sequence.
+            rnd = self.rng.random
+            rate = self.traffic.packet_rate
+            for n in range(self.N):
+                if self.generated >= total:
+                    return
+                if rnd() < rate:
+                    s_queue[n].append(self._create_packet(n, nodes[n], cycle))
+                    self.src_busy.add(n)
+            return
+        arrivals = self.traffic.arrivals
+        for n, node in enumerate(nodes):
+            if self.generated >= total:
+                return
+            for _ in range(arrivals(node, cycle)):
+                s_queue[n].append(self._create_packet(n, node, cycle))
+                self.src_busy.add(n)
+                if self.generated >= total:
+                    return
+
+    def _create_packet(self, n: int, node, cycle: int) -> int:
+        dest_node = self.traffic.destination(node)
+        if self.generated == self.config.warmup_packets:
+            self._measuring = True
+            self._measure_start = cycle
+        pid = self.generated
+        self.generated += 1
+        self.outstanding += 1
+        self.p_src.append(n)
+        self.p_dest.append(self.layout.node_index[dest_node])
+        self.p_created.append(cycle)
+        self.p_injected.append(NONE_CODE)
+        self.p_delivered.append(NONE_CODE)
+        self.p_dropped.append(NONE_CODE)
+        self.p_fdel.append(0)
+        self.p_hops.append(0)
+        measured = self._measuring
+        if measured:
+            self.injected_packets += 1
+        self.p_meas.append(measured)
+        yx = False
+        if self.config.routing is RoutingMode.XY_YX:
+            yx = choose_variant(node, dest_node, self.rng, None)
+        self.p_yx.append(1 if yx else 0)
+        F = self.F
+        none_row = [NONE_CODE] * F
+        self.f_route.extend(none_row)
+        self.f_look.extend(none_row)
+        self.f_hint.extend(none_row)
+        self.f_arrival.extend(none_row)
+        return pid
+
+    def _inject(self, n: int, cycle: int) -> None:
+        """``Source.inject``: advance injection by at most one flit."""
+        if self.s_cur[n] == NONE_CODE and self.s_queue[n]:
+            self._start_next(n, cycle)
+        fid = self.s_cur[n]
+        if fid == NONE_CODE:
+            return
+        s = self.s_vc[n]
+        if self._credits(s, cycle) <= 0:
+            return
+        self.avail[s] -= 1  # reserve_slot (already refreshed by _credits)
+        self.q[s].append(fid)
+        self.occ_mask[n] |= self.slot_bitmask[s]
+        self._wake(n)
+        self.f_arrival[fid] = cycle
+        F = self.F
+        pid, seq = divmod(fid, F)
+        if seq == 0:
+            self.apid[s] = pid
+        self.bw += 1
+        if seq == F - 1:
+            # Tail pushed: release the VC for the next worm.
+            self.owner[s] = NONE_CODE
+            self.s_cur[n] = NONE_CODE
+            self.s_vc[n] = NONE_CODE
+            if not self.s_queue[n]:
+                self.src_busy.discard(n)
+        else:
+            self.s_cur[n] = fid + 1
+
+    def _start_next(self, n: int, cycle: int) -> None:
+        """``Source._start_next_packet``: claim an injection VC.
+
+        Reference quirk preserved: ``injectable``/``credits`` here read
+        ``Network.cycle``, which is still the *previous* cycle's value
+        during the injection phase (the network only advances its clock
+        inside ``step``) — so the admission view is one cycle stale
+        while the streaming credit check above is current.
+        """
+        pid = self.s_queue[n][0]
+        stale = self.net_cycle
+        lay = self.layout
+        if lay.arch == "generic":
+            admission = None
+            for s in lay.gen_port_slots[n][4]:
+                if (
+                    self.owner[s] == NONE_CODE
+                    and self.expected[s] == 0
+                    and self._credits(s, stale) > 0
+                ):
+                    admission = (s, NONE_CODE)
+                    break
+        else:
+            admission = None
+            best_credits = -1
+            for s, route in lay.roco_injection(n, self.p_dest[pid], self.p_yx[pid]):
+                if (
+                    self.owner[s] == NONE_CODE
+                    and self.expected[s] == 0
+                    and self._credits(s, stale) > 0
+                ):
+                    credit = self._credits(s, stale)
+                    if credit > best_credits:
+                        admission, best_credits = (s, route), credit
+        if admission is None:
+            return
+        s, route = admission
+        self.owner[s] = pid
+        del self.s_queue[n][0]
+        self.p_injected[pid] = cycle
+        head = pid * self.F
+        self.f_route[head] = route
+        self.s_cur[n] = head
+        self.s_vc[n] = s
+
+    # ------------------------------------------------------------------
+    # Network step (Network.step)
+    # ------------------------------------------------------------------
+
+    def _net_step(self, cycle: int) -> None:
+        self.net_cycle = cycle
+        full = self.full_sweep
+        bucket = self.wake.pop(cycle, None)
+        due: dict[int, list[tuple[int, int]]] | None = None
+        if bucket:
+            due = {}
+            for n, din, fid in bucket:
+                lst = due.get(n)
+                if lst is None:
+                    due[n] = [(din, fid)]
+                else:
+                    lst.append((din, fid))
+                if not full:
+                    self._wake(n)
+        if full:
+            stepped = range(self.N)
+            num_stepped = self.N
+        else:
+            r_active = self.r_active
+            stepped = [n for n in range(self.N) if r_active[n]]
+            num_stepped = len(stepped)
+        self.sched_cycles += 1
+        self.sched_steps += num_stepped
+        self.sched_slots += self.N
+
+        # Phase 1: link delivery, routers in row-major order, links in
+        # CARDINALS order within a router (deliver_due sorts its dirs).
+        # Every router with arrivals is in the stepped set — it was
+        # woken above (active) or stepped unconditionally (full sweep) —
+        # so iterating the due map in node order IS the reference walk
+        # restricted to routers that actually receive a flit.
+        # (``BaseRouter._accept_flit``, inlined for the hot path.)
+        if due:
+            F = self.F
+            q = self.q
+            occ = self.occ_mask
+            sbm = self.slot_bitmask
+            f_hint = self.f_hint
+            f_route = self.f_route
+            f_look = self.f_look
+            f_arrival = self.f_arrival
+            expected = self.expected
+            apid = self.apid
+            bw = 0
+            for n in sorted(due):
+                arrivals = due[n]
+                if len(arrivals) > 1:
+                    arrivals.sort()
+                for _din, fid in arrivals:
+                    t = f_hint[fid]
+                    f_route[fid] = f_look[fid]
+                    f_look[fid] = NONE_CODE
+                    if t == EJECT_CODE:
+                        self._eject(n, fid, cycle, early=True)
+                        continue
+                    q[t].append(fid)
+                    occ[n] |= sbm[t]
+                    expected[t] -= 1
+                    f_arrival[fid] = cycle
+                    if fid % F == 0:
+                        apid[t] = fid // F
+                    bw += 1
+            self.bw += bw
+
+        # Phase 2: switch traversal of last cycle's SA winners — only
+        # routers on the sa_routers list have any, and the sleep pass
+        # never deactivates a router with pending winners, so the list
+        # (ascending by construction) is the reference walk's non-empty
+        # subsequence.  (``BaseRouter._launch``, inlined; the stale
+        # check guarantees ``t == out_vc[s]``.)
+        if self.sa_routers:
+            routers = self.sa_routers
+            self.sa_routers = []
+            sa_win = self.sa_win
+            q = self.q
+            occ = self.occ_mask
+            sbm = self.slot_bitmask
+            out_dir = self.out_dir
+            out_vc = self.out_vc
+            avail = self.avail
+            expected = self.expected
+            apid = self.apid
+            owner = self.owner
+            rel = self.rel
+            f_hint = self.f_hint
+            p_hops = self.p_hops
+            nbr = self.layout.nbr
+            wake = self.wake
+            F = self.F
+            release_at = cycle + 2
+            out_bucket = wake.get(release_at)
+            if out_bucket is None:
+                out_bucket = wake[release_at] = []
+            moved = 0
+            for n in routers:
+                winners = sa_win[n]
+                sa_win[n] = []
+                for s, od, t in winners:
+                    qs = q[s]
+                    if not qs or out_dir[s] != od or out_vc[s] != t:
+                        # Stale grant (purged worm): refund the reservation.
+                        if t >= 0:
+                            avail[t] += 1
+                            expected[t] -= 1
+                        continue
+                    fid = qs.pop(0)
+                    if not qs:
+                        occ[n] &= ~sbm[s]
+                    rel[s].append(release_at)  # pop(): schedule_release
+                    closes = fid % F == F - 1
+                    if closes:
+                        out_dir[s] = NONE_CODE
+                        out_vc[s] = NONE_CODE
+                        apid[s] = NONE_CODE
+                    moved += 1
+                    if od == LOCAL:
+                        self._eject(n, fid, cycle, early=False)
+                        continue
+                    f_hint[fid] = t
+                    if fid % F == 0:
+                        p_hops[fid // F] += 1
+                    out_bucket.append((nbr[n][od], (od + 2) % 4, fid))
+                    self.lf += 1
+                    if closes and t >= 0:
+                        owner[t] = NONE_CODE
+            self.br += moved
+            self.xb += moved
+
+        # Phase 3: allocation (RC + VA + SA), per architecture.  The
+        # allocators' empty-router work is a pure no-op in both modes,
+        # so the mask gates the call itself; RoCo's quiescence snapshot
+        # (``_alloc_occupied``, taken at allocate entry) lands here.
+        occ = self.occ_mask
+        allocate = self._allocate
+        if full:
+            for n in stepped:
+                if occ[n]:
+                    allocate(n, cycle)
+        elif self.layout.arch == "roco":
+            r_occupied = self.r_occupied
+            for n in stepped:
+                if occ[n]:
+                    r_occupied[n] = True
+                    allocate(n, cycle)
+                else:
+                    r_occupied[n] = False
+        else:
+            for n in stepped:
+                if occ[n]:
+                    allocate(n, cycle)
+
+        # Sleep pass (active scheduler only).  RoCo judges occupancy by
+        # the allocate-entry snapshot (deliberately stale across any
+        # queue change after allocate); the generic router re-probes.
+        if not full:
+            sa_win = self.sa_win
+            r_active = self.r_active
+            busy = self.r_occupied if self.layout.arch == "roco" else occ
+            for n in stepped:
+                if not sa_win[n] and not busy[n]:
+                    r_active[n] = False
+                    self.sched_sleeps += 1
+
+        # StatsCollector.tick()
+        if self._measuring:
+            self.measured_cycles += 1
+
+    # ------------------------------------------------------------------
+    # Flit movement (accept / launch / eject)
+    # ------------------------------------------------------------------
+
+    def _eject(self, n: int, fid: int, cycle: int, early: bool) -> None:
+        """``Network.eject``: consume a flit at its destination PE."""
+        pid = fid // self.F
+        if self.p_dropped[pid] != NONE_CODE:
+            return
+        if early:
+            self.ee += 1
+        self.p_fdel[pid] += 1
+        measured = self.p_meas[pid]
+        if measured:
+            self.delivered_flits += 1
+        if fid % self.F == self.F - 1:
+            self.p_delivered[pid] = cycle
+            self.total_delivered += 1
+            if measured:
+                self.delivered_packets += 1
+                self.latencies.append(cycle - self.p_created[pid])
+                self.hops_list.append(self.p_hops[pid])
+            self.outstanding -= 1
+
+    # ------------------------------------------------------------------
+    # VC allocation (BaseRouter._request_vc_allocation / _resolve_*)
+    # ------------------------------------------------------------------
+
+    def _request_vc_alloc(
+        self, n: int, s: int, od: int, fid: int, requests: list, cycle: int
+    ):
+        """Returns True (staged/granted), False (all owned), None (hard)."""
+        self.va += 1
+        if od == LOCAL:
+            self.out_vc[s] = EJECT_CODE
+            self.out_dir[s] = LOCAL
+            return True
+        lay = self.layout
+        m = lay.nbr[n][od]
+        if m < 0:
+            return None
+        din = (od + 2) % 4
+        if lay.arch == "generic":
+            candidates = self._gen_adm[m][din]
+        else:
+            pid = fid // self.F
+            candidates = lay.roco_admission(m, din, self.p_dest[pid], self.p_yx[pid])
+        if not candidates:
+            return None
+        staged = {req[3] for req in requests}
+        owner = self.owner
+        best_t = None
+        best_route = NONE_CODE
+        best_key = (-1, -1)
+        for t, route in candidates:
+            if t == EJECT_CODE:
+                best_t, best_route = t, route
+                break
+            if owner[t] != NONE_CODE:
+                continue
+            key = (0 if t in staged else 1, self._credits(t, cycle))
+            if key > best_key:
+                best_t, best_route, best_key = t, route, key
+        if best_t is None:
+            return False
+        if best_t == EJECT_CODE:
+            self.out_vc[s] = EJECT_CODE
+            self.out_dir[s] = od
+            self.f_look[fid] = best_route
+            return True
+        requests.append((s, od, fid, best_t, best_route))
+        return True
+
+    def _resolve_vc_allocations(self, n: int, requests: list, cycle: int) -> None:
+        F = self.F
+        for _ in range(self._va_iterations):
+            if not requests:
+                return
+            groups: dict[int, list] = {}
+            for req in requests:
+                groups.setdefault(req[3], []).append(req)
+            losers: list[tuple[int, int, int]] = []
+            for group in groups.values():
+                pick = cycle % len(group)
+                for i, (s, od, fid, t, route) in enumerate(group):
+                    if i == pick:
+                        self.owner[t] = fid // F  # claim()
+                        self.out_vc[s] = t
+                        self.out_dir[s] = od
+                        self.f_look[fid] = route
+                    else:
+                        losers.append((s, od, fid))
+            requests = []
+            for s, od, fid in losers:
+                # Final-iteration losers re-request into a discarded
+                # list — observable only as va_requests bumps, exactly
+                # like the reference.
+                self._request_vc_alloc(n, s, od, fid, requests, cycle)
+
+    def _commit(self, n: int, s: int, cycle: int) -> None:
+        """``BaseRouter._commit_switch_grant``."""
+        t = self.out_vc[s]
+        if t >= 0:
+            self._credits(t, cycle)  # reserve_slot refreshes first
+            self.avail[t] -= 1
+            self.expected[t] += 1
+        win = self.sa_win[n]
+        if not win:
+            self.sa_routers.append(n)
+        win.append((s, self.out_dir[s], t))
+
+    # ------------------------------------------------------------------
+    # Generic-router allocate (GenericRouter.allocate)
+    # ------------------------------------------------------------------
+
+    def _allocate_generic(self, n: int, cycle: int) -> None:
+        # Caller guarantees occ_mask[n] != 0 (the empty-router walk is a
+        # pure no-op in both scheduler modes).
+        mask = self.occ_mask[n]
+        F = self.F
+        q = self.q
+        out_vc = self.out_vc
+        apid = self.apid
+        f_arrival = self.f_arrival
+        bit_slot = self.bit_slot[n]
+        va_requests: list = []
+        newly: set[int] = set()
+        m = mask
+        while m:
+            b = m & -m
+            m ^= b
+            s = bit_slot[b.bit_length() - 1]
+            fid = q[s][0]
+            if fid % F:
+                continue  # not a head flit
+            if apid[s] == NONE_CODE:
+                apid[s] = fid // F
+            if out_vc[s] == NONE_CODE:
+                if f_arrival[fid] >= cycle:
+                    continue  # post-arrival RC cycle
+                self._gen_route_and_request(n, s, fid, va_requests, cycle)
+                newly.add(s)
+        if va_requests:
+            self._resolve_vc_allocations(n, va_requests, cycle)
+
+        # SA stage 1: one nominee per input port; Peh-Dally speculation.
+        V = self.V
+        out_dir = self.out_dir
+        avail = self.avail
+        rel = self.rel
+        arb = self.arb[n]
+        pmask = (1 << V) - 1
+        nominees: dict[int, int] = {}
+        speculative: dict[int, bool] = {}
+        for d in range(5):
+            base = d * V
+            sub = (mask >> base) & pmask
+            if not sub:
+                continue
+            ready = [False] * V
+            num_requests = 0
+            mm = sub
+            while mm:
+                b = mm & -mm
+                mm ^= b
+                i = b.bit_length() - 1
+                t = out_vc[bit_slot[base + i]]
+                if t == NONE_CODE:
+                    continue
+                if t >= 0:
+                    # Inlined credits(cycle) > 0 with lazy release refresh.
+                    r = rel[t]
+                    if r and r[0] <= cycle:
+                        a = avail[t]
+                        while r and r[0] <= cycle:
+                            del r[0]
+                            a += 1
+                        avail[t] = a
+                    if avail[t] <= 0:
+                        continue
+                ready[i] = True
+                num_requests += 1
+            if not num_requests:
+                continue
+            self.sa += num_requests
+            non_spec = [
+                r and bit_slot[base + i] not in newly for i, r in enumerate(ready)
+            ]
+            if any(non_spec):
+                winner = _rr(arb, d, non_spec)
+                speculative[d] = False
+            else:
+                winner = _rr(arb, d, ready)
+                speculative[d] = True
+            nominees[d] = bit_slot[base + winner]
+
+        # SA stage 2: one grant per output, non-speculative first.  The
+        # contention tally runs first, as in the reference: every
+        # buffered worm with a committed cardinal output is a standing
+        # request on that crossbar output (Figure 3).
+        c = [0, 0, 0, 0]
+        mm = mask
+        while mm:
+            b = mm & -mm
+            mm ^= b
+            od = out_dir[bit_slot[b.bit_length() - 1]]
+            if od >= 0 and od != LOCAL:
+                c[od] += 1
+        cn, ce, cs, cw = c
+        self.row_req += ce + cw
+        self.row_cont += (ce if ce > 1 else 0) + (cw if cw > 1 else 0)
+        self.col_req += cn + cs
+        self.col_cont += (cn if cn > 1 else 0) + (cs if cs > 1 else 0)
+        requests_per_output: dict[int, list[int]] = {}
+        for d, s in nominees.items():
+            requests_per_output.setdefault(out_dir[s], []).append(d)
+        for od, requesters in requests_per_output.items():
+            non_spec_req = [d for d in requesters if not speculative[d]]
+            pool = non_spec_req if non_spec_req else requesters
+            lines = [p in pool for p in range(5)]
+            winner = _rr(arb, 5 + od, lines)
+            if winner is not None:
+                self._commit(n, nominees[winner], cycle)
+
+    def _gen_route_and_request(
+        self, n: int, s: int, fid: int, va_requests: list, cycle: int
+    ) -> None:
+        """``GenericRouter._route_and_request`` (fault-free paths)."""
+        lay = self.layout
+        pid = fid // self.F
+        dest = self.p_dest[pid]
+        if lay.slot_escape[s] and lay.mode is RoutingMode.ADAPTIVE:
+            candidates = (lay.escape_route(n, dest),)
+        else:
+            candidates = lay.route_candidates(n, dest, self.p_yx[pid])
+        if len(candidates) > 1:
+            # _order_by_congestion: stable sort by free downstream credits.
+            candidates = sorted(
+                candidates, key=lambda d: -self._free_credits(n, d, cycle)
+            )
+        for od in candidates:
+            if self._request_vc_alloc(n, s, od, fid, va_requests, cycle):
+                return
+
+    def _free_credits(self, n: int, d: int, cycle: int) -> int:
+        total = 0
+        for s in self.layout.fc_slots[n][d]:
+            total += self._credits(s, cycle)
+        return total
+
+    # ------------------------------------------------------------------
+    # RoCo allocate (RoCoRouter.allocate)
+    # ------------------------------------------------------------------
+
+    def _allocate_roco(self, n: int, cycle: int) -> None:
+        # Caller guarantees occ_mask[n] != 0 and has already taken the
+        # ``_alloc_occupied`` snapshot (r_occupied) at phase entry —
+        # deliberately before the VA walk, whose defensive ejects may
+        # empty queues, so quiescence stays conservatively False for
+        # one extra cycle exactly like the reference.
+        mask = self.occ_mask[n]
+        F = self.F
+        q = self.q
+        out_vc = self.out_vc
+        apid = self.apid
+        f_arrival = self.f_arrival
+        bit_slot = self.bit_slot[n]
+        lookahead = self.layout.lookahead
+        va_requests: list = []
+        m = mask
+        while m:
+            b = m & -m
+            m ^= b
+            s = bit_slot[b.bit_length() - 1]
+            fid = q[s][0]
+            if fid % F:
+                continue
+            if apid[s] == NONE_CODE:
+                apid[s] = fid // F
+            if out_vc[s] == NONE_CODE:
+                if not lookahead and f_arrival[fid] >= cycle:
+                    continue  # ablation: RC charged post-arrival
+                self._roco_request_worm(n, s, fid, va_requests, cycle)
+        if va_requests:
+            self._resolve_vc_allocations(n, va_requests, cycle)
+
+        V = self.V
+        out_dir = self.out_dir
+        avail = self.avail
+        rel = self.rel
+        expected = self.expected
+        sa_routers = self.sa_routers
+        win = self.sa_win[n]
+        mirror = self.layout.mirror
+        mod_slot0 = self.layout.mod_slot0_dir
+        mod_bits = self._mod_bits
+        mod_mask = self._mod_mask
+        # Re-read: the VA walk's defensive ejects may have cleared bits,
+        # and both the reference SA walk and its contention tally probe
+        # live queues.
+        mask = self.occ_mask[n]
+        counts = None
+        for mi in (0, 1):
+            shift = mi * mod_bits
+            sub = (mask >> shift) & mod_mask
+            if not sub:
+                continue
+            slot0_dir = mod_slot0[mi]
+            # Ready requests as four V-wide bitmasks: (port, crossbar
+            # direction-slot) with bit ``vc.index`` — the same matrix the
+            # allocators consume, packed.
+            r00 = r01 = r10 = r11 = 0
+            ready_count = 0
+            mm = sub
+            while mm:
+                b = mm & -mm
+                mm ^= b
+                i = b.bit_length() - 1
+                s = bit_slot[shift + i]
+                t = out_vc[s]
+                if t == NONE_CODE:
+                    continue
+                if t >= 0:
+                    # Inlined credits(cycle) > 0 with lazy release refresh.
+                    r = rel[t]
+                    if r and r[0] <= cycle:
+                        a = avail[t]
+                        while r and r[0] <= cycle:
+                            del r[0]
+                            a += 1
+                        avail[t] = a
+                    if avail[t] <= 0:
+                        continue
+                if i < V:
+                    if out_dir[s] == slot0_dir:
+                        r00 |= 1 << i
+                    else:
+                        r01 |= 1 << i
+                elif out_dir[s] == slot0_dir:
+                    r10 |= 1 << (i - V)
+                else:
+                    r11 |= 1 << (i - V)
+                ready_count += 1
+            if not ready_count:
+                continue
+            self.sa += ready_count
+            # _tally_contention — the reference invokes it once per
+            # module with ready VCs, each walk seeing identical state
+            # (the SA loop mutates neither queues nor out_dir), so the
+            # counts are computed once and applied per invocation.
+            if counts is None:
+                c = [0, 0, 0, 0]
+                mm = mask
+                while mm:
+                    b = mm & -mm
+                    mm ^= b
+                    od = out_dir[bit_slot[b.bit_length() - 1]]
+                    if od >= 0 and od != LOCAL:
+                        c[od] += 1
+                counts = c
+            cn, ce, cs, cw = counts
+            self.row_req += ce + cw
+            self.row_cont += (ce if ce > 1 else 0) + (cw if cw > 1 else 0)
+            self.col_req += cn + cs
+            self.col_cont += (cn if cn > 1 else 0) + (cs if cs > 1 else 0)
+            state = self.arb[n][mi]
+            if mirror:
+                # MirrorAllocator.allocate, inlined on the packed rows.
+                # Local v:1 arbiters — each a round-robin scan from the
+                # stored pointer over a non-empty request mask.
+                if r00:
+                    i = state[0]
+                    while not r00 >> i & 1:
+                        i += 1
+                        if i >= V:
+                            i = 0
+                    state[0] = i + 1 if i + 1 < V else 0
+                    l00 = i
+                else:
+                    l00 = -1
+                if r01:
+                    i = state[1]
+                    while not r01 >> i & 1:
+                        i += 1
+                        if i >= V:
+                            i = 0
+                    state[1] = i + 1 if i + 1 < V else 0
+                    l01 = i
+                else:
+                    l01 = -1
+                if r10:
+                    i = state[2]
+                    while not r10 >> i & 1:
+                        i += 1
+                        if i >= V:
+                            i = 0
+                    state[2] = i + 1 if i + 1 < V else 0
+                    l10 = i
+                else:
+                    l10 = -1
+                if r11:
+                    i = state[3]
+                    while not r11 >> i & 1:
+                        i += 1
+                        if i >= V:
+                            i = 0
+                    state[3] = i + 1 if i + 1 < V else 0
+                    l11 = i
+                else:
+                    l11 = -1
+                # Global 2:1 arbiter + mirrored partner grants.  The
+                # pointer is always 0/1, so each grant leaves it at
+                # 1 - winner (see _mirror_allocate for the spelled-out
+                # reference transliteration this compresses).
+                if l00 >= 0 or l01 >= 0:
+                    score0 = (2 if l11 >= 0 else 1) if l00 >= 0 else -1
+                    score1 = (2 if l10 >= 0 else 1) if l01 >= 0 else -1
+                    if score0 == score1:
+                        slot1 = state[4]
+                    else:
+                        slot1 = 0 if score0 > score1 else 1
+                    state[4] = 1 - slot1
+                    if slot1 == 0:
+                        granted = (
+                            (bit_slot[shift + l00], bit_slot[shift + V + l11])
+                            if l11 >= 0
+                            else (bit_slot[shift + l00],)
+                        )
+                    elif l10 >= 0:
+                        granted = (bit_slot[shift + l01], bit_slot[shift + V + l10])
+                    else:
+                        granted = (bit_slot[shift + l01],)
+                else:
+                    g = state[4]
+                    slot2 = g if (l10 >= 0 if g == 0 else l11 >= 0) else 1 - g
+                    state[4] = 1 - slot2
+                    granted = (bit_slot[shift + V + (l10 if slot2 == 0 else l11)],)
+                for gs in granted:
+                    # ``_commit_switch_grant``, inlined (port-0 grant
+                    # first, mirroring the reference's grants order).
+                    t = out_vc[gs]
+                    if t >= 0:
+                        r = rel[t]
+                        if r and r[0] <= cycle:
+                            a = avail[t]
+                            while r and r[0] <= cycle:
+                                del r[0]
+                                a += 1
+                            avail[t] = a
+                        avail[t] -= 1
+                        expected[t] += 1
+                    if not win:
+                        sa_routers.append(n)
+                    win.append((gs, out_dir[gs], t))
+            else:
+                requests = [
+                    [
+                        [bool(r00 >> v & 1) for v in range(V)],
+                        [bool(r01 >> v & 1) for v in range(V)],
+                    ],
+                    [
+                        [bool(r10 >> v & 1) for v in range(V)],
+                        [bool(r11 >> v & 1) for v in range(V)],
+                    ],
+                ]
+                for port, _slot, index in _sequential_allocate(state, requests):
+                    self._commit(n, bit_slot[shift + port * V + index], cycle)
+
+    def _roco_request_worm(
+        self, n: int, s: int, fid: int, va_requests: list, cycle: int
+    ) -> None:
+        """``RoCoRouter._request_worm_allocation`` (fault-free paths)."""
+        od = self.f_route[fid]
+        if od == NONE_CODE or od == LOCAL:
+            # Defensive: early ejection should have consumed this flit.
+            qs = self.q[s]
+            qs.pop(0)
+            if not qs:
+                self.occ_mask[n] &= ~self.slot_bitmask[s]
+            self.rel[s].append(cycle + 2)
+            if fid % self.F == self.F - 1:
+                self.out_dir[s] = NONE_CODE
+                self.out_vc[s] = NONE_CODE
+                self.apid[s] = NONE_CODE
+            self._eject(n, fid, cycle, early=True)
+            return
+        self._request_vc_alloc(n, s, od, fid, va_requests, cycle)
+
+    # ------------------------------------------------------------------
+    # Run loop (Simulator.run)
+    # ------------------------------------------------------------------
+
+    def run(self, progress=None, progress_every: int = 5000) -> SimulationResult:
+        config = self.config
+        total = config.total_packets
+        drain_timeout = config.drain_timeout
+        last_signature = (-1, -1)
+        last_progress_cycle = 0
+        cycle = 0
+        src_busy = self.src_busy
+        for cycle in range(config.max_cycles):
+            if self.generated < total:
+                self._generate(cycle)
+            if src_busy:
+                # Idle sources are strict no-ops in ``Source.inject``;
+                # busy ones must run in node order.
+                for n in sorted(src_busy):
+                    self._inject(n, cycle)
+            self._net_step(cycle)
+            if progress is not None and cycle and cycle % progress_every == 0:
+                progress(cycle, self.generated, self.outstanding)
+            signature = (self.xb + self.bw, self.outstanding)
+            if signature != last_signature:
+                last_signature = signature
+                last_progress_cycle = cycle
+            if self.generated >= total and self.outstanding == 0:
+                break
+            if cycle - last_progress_cycle > drain_timeout:
+                # The SoA envelope is fault-free, so this is always the
+                # hard failure path (never the paper's inactivity rule).
+                raise DrainTimeoutError(
+                    f"no progress for {drain_timeout} cycles at cycle {cycle}",
+                    self.stranded_census(cycle),
+                )
+        self._drop_survivors(cycle)
+        return self._build_result(cycle + 1)
+
+    def stranded_census(self, cycle: int) -> StrandedCensus:
+        """``Simulator.stranded_census`` on array state (fault-free)."""
+        nodes = self.layout.nodes
+        per_node: dict = {}
+        oldest: int | None = None
+
+        def tally(n: int, pid: int) -> None:
+            nonlocal oldest
+            node = nodes[n]
+            per_node[node] = per_node.get(node, 0) + 1
+            age = cycle - self.p_created[pid]
+            if oldest is None or age > oldest:
+                oldest = age
+
+        for n in range(self.N):
+            for pid in self.s_queue[n]:
+                tally(n, pid)
+            if self.s_cur[n] != NONE_CODE:
+                tally(n, self.s_cur[n] // self.F)
+        counted: set[int] = set()
+        for n in range(self.N):
+            for s in self.layout.router_slots[n]:
+                for fid in self.q[s]:
+                    pid = fid // self.F
+                    if pid in counted or self.p_dropped[pid] != NONE_CODE:
+                        continue
+                    counted.add(pid)
+                    tally(n, pid)
+        return StrandedCensus(
+            outstanding=self.outstanding,
+            per_node=per_node,
+            oldest_age=oldest if oldest is not None else 0,
+            dead_modules={},
+            unreachable=0,
+        )
+
+    def _drop_survivors(self, cycle: int) -> None:
+        """``Simulator._drop_survivors`` (fault-free: all UNDELIVERED)."""
+        if self.outstanding == 0:
+            return
+
+        def drop(pid: int) -> None:
+            if self.p_dropped[pid] != NONE_CODE or self.p_delivered[pid] != NONE_CODE:
+                return
+            self.p_dropped[pid] = cycle
+            self.total_dropped += 1
+            reason = DropReason.UNDELIVERED
+            self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+            if self.p_meas[pid]:
+                self.dropped_packets += 1
+
+        for n in range(self.N):
+            for pid in self.s_queue[n]:
+                drop(pid)
+            self.s_queue[n] = []
+            if self.s_cur[n] != NONE_CODE:
+                drop(self.s_cur[n] // self.F)
+                self.s_cur[n] = NONE_CODE
+                self.s_vc[n] = NONE_CODE
+        for s in range(self.S):
+            for fid in self.q[s]:
+                drop(fid // self.F)
+            self.q[s] = []
+        self.occ_mask = [0] * self.N
+        self.src_busy.clear()
+        self.outstanding = 0
+
+    # ------------------------------------------------------------------
+    # Result assembly (Simulator._build_result)
+    # ------------------------------------------------------------------
+
+    def _stats(self) -> StatsCollector:
+        """Flush the flat counters into a real StatsCollector."""
+        stats = StatsCollector(num_nodes=self.config.num_nodes)
+        stats.measuring = self._measuring
+        stats.measure_start_cycle = self._measure_start
+        stats.latencies = self.latencies
+        stats.hops = self.hops_list
+        stats.injected_packets = self.injected_packets
+        stats.delivered_packets = self.delivered_packets
+        stats.dropped_packets = self.dropped_packets
+        stats.delivered_flits = self.delivered_flits
+        stats.total_delivered = self.total_delivered
+        stats.total_dropped = self.total_dropped
+        stats.drops_by_reason = dict(self.drops_by_reason)
+        stats.measured_cycles = self.measured_cycles
+        stats.activity = ActivityCounters(
+            buffer_writes=self.bw,
+            buffer_reads=self.br,
+            crossbar_traversals=self.xb,
+            va_requests=self.va,
+            sa_requests=self.sa,
+            link_flits=self.lf,
+            early_ejections=self.ee,
+        )
+        stats.contention = ContentionCounters(
+            row_requests=self.row_req,
+            row_contended=self.row_cont,
+            column_requests=self.col_req,
+            column_contended=self.col_cont,
+        )
+        stats.scheduler = SchedulerCounters(
+            cycles=self.sched_cycles,
+            router_steps=self.sched_steps,
+            router_slots=self.sched_slots,
+            wakeups=self.sched_wakeups,
+            sleeps=self.sched_sleeps,
+            full_sweep=self.full_sweep,
+        )
+        return stats
+
+    def _build_result(self, cycles: int) -> SimulationResult:
+        stats = self._stats()
+        model = EnergyModel(self.config.router, self.config.num_nodes)
+        energy = model.report(
+            stats.activity, stats.measured_cycles, stats.delivered_packets
+        )
+        return SimulationResult(
+            config=self.config,
+            average_latency=stats.average_latency,
+            latency=LatencySummary.from_samples(stats.latencies),
+            average_hops=stats.average_hops,
+            injected_packets=stats.injected_packets,
+            delivered_packets=stats.delivered_packets,
+            dropped_packets=stats.dropped_packets,
+            completion_probability=stats.completion_probability,
+            throughput=stats.throughput_flits_per_node_cycle,
+            cycles=cycles,
+            energy=energy,
+            contention_row=stats.contention.row_probability,
+            contention_column=stats.contention.column_probability,
+            contention_overall=stats.contention.overall_probability,
+            faults=self.faults,
+            scheduler=stats.scheduler,
+            generated_packets=self.generated,
+            total_delivered=stats.total_delivered,
+            total_dropped=stats.total_dropped,
+            drops_by_reason={
+                reason.value: count
+                for reason, count in sorted(
+                    stats.drops_by_reason.items(), key=lambda kv: kv[0].value
+                )
+            },
+        )
+
+
+def run_soa_simulation(
+    config: SimulationConfig,
+    traffic: TrafficPattern | None = None,
+    faults=None,
+    *,
+    schedule=None,
+    full_sweep: bool = False,
+) -> SimulationResult:
+    """SoA-backend counterpart of :func:`repro.core.simulator.run_simulation`."""
+    return SoASimulator(
+        config,
+        traffic=traffic,
+        faults=faults,
+        schedule=schedule,
+        full_sweep=full_sweep,
+    ).run()

@@ -83,7 +83,7 @@ def config_payload(config: SimulationConfig) -> dict:
     configs with equal payloads are the same experiment.
     """
     router_config = config.router_config
-    return {
+    payload = {
         "width": config.width,
         "height": config.height,
         "topology": config.topology,
@@ -106,6 +106,14 @@ def config_payload(config: SimulationConfig) -> dict:
             "lookahead_routing": router_config.lookahead_routing,
         },
     }
+    if config.backend != "object":
+        # The backend is bit-identical on its envelope, so sharing cache
+        # entries would be sound — but a conformance regression must not
+        # be maskable by a cache hit on the other backend's record, and
+        # the default omission keeps pre-existing object-backend keys
+        # (and their on-disk caches) stable.
+        payload["backend"] = config.backend
+    return payload
 
 
 def _fault_payload(fault: ComponentFault) -> dict:

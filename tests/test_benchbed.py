@@ -45,6 +45,7 @@ EXPECTED_BENCHMARKS = {
     "ablation_lookahead",
     "ablation_mirror",
     "activity_core",
+    "backend_soa",
     "dynamic_faults",
     "ext_packet_size",
     "ext_permutations",
