@@ -30,6 +30,16 @@ minimal reproducers, or replay one (see docs/auditing.md)::
     python -m repro audit --rate 0.3 --shrink repro.json
     python -m repro audit --replay repro.json
     python -m repro audit --grid
+
+Resilient sweeps — supervise jobs with deadlines/retries, journal
+completed work, and resume an interrupted campaign without duplicating
+simulations (see docs/resilient-execution.md)::
+
+    python -m repro --rates 0.05,0.15 --num-seeds 5 --workers 0 \
+        --cache-dir ~/.cache/repro --job-timeout 120 --max-retries 2
+    python -m repro --rates 0.05,0.15 --num-seeds 5 --workers 0 \
+        --cache-dir ~/.cache/repro --resume
+    python -m repro chaos --grid
 """
 
 from __future__ import annotations
@@ -44,7 +54,12 @@ from repro.core.types import NodeId
 from repro.faults.injector import random_faults
 from repro.faults.schedule import FaultSchedule
 from repro.harness.campaign import run_campaign
-from repro.harness.parallel import ParallelExecutor, ProgressPrinter, ResultCache
+from repro.harness.parallel import (
+    ParallelExecutor,
+    ProgressPrinter,
+    ResultCache,
+    is_failure_record,
+)
 from repro.harness.sweeps import Sweep
 from repro.routers import ROUTER_CLASSES
 from repro.traffic import TRAFFIC_CLASSES
@@ -154,6 +169,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore --cache-dir and always simulate",
     )
+    resilience = parser.add_argument_group(
+        "resilience",
+        "fault-tolerant sweep supervision (see docs/resilient-execution.md)",
+    )
+    resilience.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock deadline (pooled runs; enables supervision)",
+    )
+    resilience.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per job before quarantining it (enables supervision)",
+    )
+    resilience.add_argument(
+        "--speculative",
+        action="store_true",
+        help="re-execute stragglers speculatively on idle workers",
+    )
+    resilience.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help=(
+            "sweep journal path (default: <cache-dir>/journal.jsonl "
+            "when --cache-dir is set)"
+        ),
+    )
+    resilience.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted sweep from its journal: completed "
+            "jobs are served from the cache, quarantined failures are "
+            "replayed, nothing is simulated twice"
+        ),
+    )
     return parser
 
 
@@ -260,6 +316,34 @@ def _run_single(args) -> int:
     return 0
 
 
+def _build_resilience(args, cache) -> tuple[object, object] | tuple[None, None]:
+    """Resolve the resilience flags into (policy, journal)."""
+    wants_policy = (
+        args.job_timeout is not None
+        or args.max_retries is not None
+        or args.speculative
+        or args.resume
+        or args.journal is not None
+    )
+    if not wants_policy:
+        return None, None
+    from repro.harness.resilient import RetryPolicy, SweepJournal
+
+    policy_kwargs = {"speculative": args.speculative}
+    if args.job_timeout is not None:
+        policy_kwargs["job_timeout"] = args.job_timeout
+    if args.max_retries is not None:
+        policy_kwargs["max_retries"] = args.max_retries
+    policy = RetryPolicy(**policy_kwargs)
+    journal_path = args.journal
+    if journal_path is None and cache is not None:
+        journal_path = cache.directory / "journal.jsonl"
+    journal = None
+    if journal_path is not None:
+        journal = SweepJournal(journal_path, resume=args.resume)
+    return policy, journal
+
+
 def _run_sweep(args) -> int:
     schedule = _build_schedule(args)
     if args.faults and schedule is None:
@@ -288,17 +372,30 @@ def _run_sweep(args) -> int:
     cache = None
     if args.cache_dir and not args.no_cache:
         cache = ResultCache(args.cache_dir)
+    policy, journal = _build_resilience(args, cache)
     executor = ParallelExecutor(
-        workers=args.workers, cache=cache, progress=ProgressPrinter()
+        workers=args.workers,
+        cache=cache,
+        progress=ProgressPrinter(),
+        policy=policy,
+        journal=journal,
     )
+    supervised = ", supervised" if policy is not None else ""
     print(
         f"sweep: {sweep.size} points ({len(rates)} rates x {len(seeds)} seeds), "
-        f"{executor.workers} worker(s)"
-        + (f", cache at {cache.directory}" if cache else ""),
+        f"{executor.workers} worker(s){supervised}"
+        + (f", cache at {cache.directory}" if cache else "")
+        + (f", journal at {journal.path}" if journal is not None else ""),
         file=sys.stderr,
     )
     records = sweep.run(executor=executor)
     for record in records:
+        if is_failure_record(record):
+            print(
+                f"        FAILED [{record['kind']}] {record['error_type']} "
+                f"after {record['attempts']} attempt(s): {record['message']}"
+            )
+            continue
         print(
             f"{record['router']:>14s} {record['routing']:>8s} "
             f"{record['traffic']:>12s} rate={record['injection_rate']:.2f} "
@@ -308,10 +405,13 @@ def _run_sweep(args) -> int:
         )
     stats = executor.last_stats
     print(
-        f"done: {stats.total} points, {stats.simulated} simulated, "
-        f"{stats.cache_hits} from cache, {stats.elapsed_seconds:.1f}s",
+        f"done: {stats.describe()}, {stats.elapsed_seconds:.1f}s",
         file=sys.stderr,
     )
+    if cache is not None:
+        print(f"cache: {cache.summary()}", file=sys.stderr)
+    if journal is not None:
+        journal.close()
     return 0
 
 
@@ -329,6 +429,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.harness.benchbed import bench_main
 
         return bench_main(argv[1:])
+    if argv[:1] == ["chaos"]:
+        # Chaos subcommand: differential fault-injection grid for the
+        # resilient execution layer (docs/resilient-execution.md).
+        from repro.harness.chaos import chaos_main
+
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.num_seeds < 1:
         print("error: --num-seeds must be >= 1", file=sys.stderr)
@@ -336,6 +442,13 @@ def main(argv: list[str] | None = None) -> int:
     campaign_error = _campaign_args_valid(args)
     if campaign_error is not None:
         print(f"error: {campaign_error}", file=sys.stderr)
+        return 2
+    if args.resume and args.journal is None and not args.cache_dir:
+        print(
+            "error: --resume needs --journal FILE or --cache-dir DIR "
+            "to locate the sweep journal",
+            file=sys.stderr,
+        )
         return 2
     if args.rates is not None or args.num_seeds > 1:
         return _run_sweep(args)

@@ -151,7 +151,20 @@ AVERAGED_METRICS = (
 
 
 def aggregate_point(spec: PointSpec, records: list[dict]) -> dict:
-    """Seed-mean of the headline metrics for one point."""
+    """Seed-mean of the headline metrics for one point.
+
+    Quarantined seeds (failure records from a resilient executor) are
+    excluded from the mean; a point whose every seed failed raises,
+    since there is nothing honest to report for it.
+    """
+    from repro.harness.parallel import is_failure_record
+
+    records = [r for r in records if not is_failure_record(r)]
+    if not records:
+        raise RuntimeError(
+            f"every seed of point {spec.router}/{spec.routing}/"
+            f"{spec.traffic}@{spec.injection_rate} failed"
+        )
     n = len(records)
     point = {
         "router": spec.router,

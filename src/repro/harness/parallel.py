@@ -24,13 +24,14 @@ equivalence is asserted by ``tests/test_parallel.py``.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import multiprocessing
 import os
 import sys
 import time
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.config import SimulationConfig
@@ -43,9 +44,20 @@ from repro.harness.export import result_record
 #: entries written under another version are ignored.
 CACHE_VERSION = 1
 
+#: Marker key of a failure record produced by the resilient layer: a
+#: quarantined job travels through ``run_jobs`` results as a dict with
+#: this key set (see :class:`repro.harness.resilient.JobFailure`)
+#: instead of an exception that aborts the sweep.
+FAILURE_MARKER = "job_failed"
+
 #: ``progress(done, total, record)`` — invoked after every completed
 #: job (cache hits included), in completion order.
 ProgressCallback = Callable[[int, int, dict], None]
+
+
+def is_failure_record(record: dict) -> bool:
+    """Whether a ``run_jobs`` record is a quarantined-job failure."""
+    return bool(record.get(FAILURE_MARKER))
 
 
 @dataclass(frozen=True)
@@ -149,10 +161,16 @@ def job_key(job: SimJob) -> str:
 class ResultCache:
     """Directory-backed result cache: one ``<job_key>.json`` per record.
 
-    ``hits`` / ``misses`` / ``stores`` count lookups since construction;
-    tests (and the CLI's cache summary) read them to prove a repeated
-    run performed zero new simulations.
+    ``hits`` / ``misses`` / ``stores`` / ``corrupt`` count lookups since
+    construction; tests (and the CLI's cache summary) read them to prove
+    a repeated run performed zero new simulations.  An unparseable entry
+    is not a silent permanent miss: it is quarantined to
+    ``<key>.corrupt`` (preserving the evidence) and counted, so the next
+    store repopulates the slot.
     """
+
+    #: Per-process counter making concurrent stores' tmp names unique.
+    _tmp_counter = itertools.count()
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
@@ -160,6 +178,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -167,22 +186,61 @@ class ResultCache:
     def lookup(self, key: str) -> dict | None:
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
             self.misses += 1
             return None
-        if payload.get("version") != CACHE_VERSION:
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not an object")
+            record = (
+                payload["record"]
+                if payload.get("version") == CACHE_VERSION
+                else None
+            )
+        except (ValueError, KeyError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if record is None:  # wrong version: stale but well-formed
             self.misses += 1
             return None
         self.hits += 1
-        return payload["record"]
+        return record
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so the slot can be rebuilt."""
+        self.corrupt += 1
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            pass  # a concurrent process already moved or replaced it
 
     def store(self, key: str, record: dict) -> None:
         payload = {"version": CACHE_VERSION, "key": key, "record": record}
-        tmp = self.path_for(key).with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, indent=2) + "\n")
-        tmp.replace(self.path_for(key))
+        # The tmp name must be unique per writer: two workers storing
+        # the same key with a shared ``<key>.tmp`` can interleave a
+        # write with the other's atomic replace.
+        tmp = self.directory / (
+            f"{key}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
+        )
+        try:
+            tmp.write_text(json.dumps(payload, indent=2) + "\n")
+            tmp.replace(self.path_for(key))
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         self.stores += 1
+
+    def summary(self) -> str:
+        """One-line cache statistics for CLI reports."""
+        line = (
+            f"{self.hits} hits, {self.misses} misses, {self.stores} stores"
+        )
+        if self.corrupt:
+            line += f", {self.corrupt} corrupt (quarantined)"
+        return line
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
@@ -234,12 +292,65 @@ def resolve_workers(workers: int | None) -> int:
 
 @dataclass
 class ExecutionStats:
-    """What one :meth:`ParallelExecutor.run_jobs` call actually did."""
+    """What one :meth:`ParallelExecutor.run_jobs` call actually did.
+
+    The resilience counters (``retries`` onward) stay at zero on the
+    classic unsupervised path; under a
+    :class:`~repro.harness.resilient.RetryPolicy` they record every
+    recovery action so benchbed and the progress printer can report
+    them.  ``failures_detail`` holds the
+    :class:`~repro.harness.resilient.JobFailure` objects behind the
+    ``failures`` count.
+    """
 
     total: int = 0
     cache_hits: int = 0
     simulated: int = 0
     elapsed_seconds: float = 0.0
+    #: Attempt re-executions scheduled after transient errors.
+    retries: int = 0
+    #: Jobs quarantined as structured failures (see ``failures_detail``).
+    failures: int = 0
+    #: Attempts killed for exceeding the per-job wall-clock deadline.
+    timeouts: int = 0
+    #: Worker processes that died (or stopped heartbeating) mid-job.
+    worker_crashes: int = 0
+    #: Results rejected by structural validation.
+    corrupt_results: int = 0
+    #: Speculative duplicates launched for stragglers / duplicates that
+    #: delivered the winning result.
+    speculative: int = 0
+    speculative_wins: int = 0
+    #: Jobs settled from a resumed sweep journal (completed or failed
+    #: in a previous interrupted run; zero duplicate simulations).
+    resumed: int = 0
+    failures_detail: list = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line summary for CLI / progress reports."""
+        parts = [
+            f"{self.total} jobs",
+            f"{self.simulated} simulated",
+            f"{self.cache_hits} from cache",
+        ]
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeouts")
+        if self.worker_crashes:
+            parts.append(f"{self.worker_crashes} worker crashes")
+        if self.corrupt_results:
+            parts.append(f"{self.corrupt_results} corrupt results")
+        if self.speculative:
+            parts.append(
+                f"{self.speculative} speculative "
+                f"({self.speculative_wins} wins)"
+            )
+        if self.failures:
+            parts.append(f"{self.failures} failed")
+        return ", ".join(parts)
 
 
 class ParallelExecutor:
@@ -250,6 +361,19 @@ class ParallelExecutor:
     processes.  ``cache`` is a :class:`ResultCache` (or ``None`` to
     always simulate).  ``progress`` is called as ``(done, total,
     record)`` after each completed job, cache hits included.
+
+    ``policy`` (a :class:`~repro.harness.resilient.RetryPolicy`) makes
+    execution fault-tolerant: deadlines, retries with backoff, worker
+    crash recovery and speculative straggler re-execution, with
+    unrecoverable jobs quarantined as failure records instead of
+    exceptions.  ``journal`` (a
+    :class:`~repro.harness.resilient.SweepJournal`) logs completed job
+    keys and failures, enabling resumption of an interrupted sweep with
+    zero duplicate simulations.  ``chaos`` (a
+    :class:`~repro.harness.chaos.ChaosConfig`) deterministically
+    injects worker faults for differential testing; it implies a
+    default policy when none is given.  With all three unset the
+    executor is byte-for-byte the classic unsupervised path.
 
     ``simulations_run`` accumulates the number of actual simulator
     invocations across the executor's lifetime; with a warm cache it
@@ -265,10 +389,16 @@ class ParallelExecutor:
         workers: int | None = None,
         cache: ResultCache | None = None,
         progress: ProgressCallback | None = None,
+        policy=None,
+        journal=None,
+        chaos=None,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.cache = cache
         self.progress = progress
+        self.policy = policy
+        self.journal = journal
+        self.chaos = chaos
         self.simulations_run = 0
         self.last_stats = ExecutionStats()
 
@@ -283,9 +413,15 @@ class ParallelExecutor:
     def run_jobs(self, jobs: Sequence[SimJob]) -> list[dict]:
         """Run every job; returns one record per job, in input order.
 
-        Cached jobs are served without simulating; the rest go to the
-        pool (or run inline when ``workers`` is 1 or only one job is
-        pending — a pool of one would only add spawn overhead).
+        Cached jobs are served without simulating; jobs settled by a
+        resumed journal (completed or quarantined in a prior run) are
+        not re-executed; the rest go to the pool (or run inline when
+        ``workers`` is 1).  Under a policy, a job the supervisor gave up
+        on contributes a failure record (``FAILURE_MARKER`` set) in its
+        slot instead of raising.  On interruption (KeyboardInterrupt)
+        the cache and journal are left consistent: every record already
+        completed is stored and journaled before the exception leaves
+        this frame.
         """
         jobs = list(jobs)
         started = time.monotonic()
@@ -293,50 +429,134 @@ class ParallelExecutor:
         records: list[dict | None] = [None] * total
         done = 0
         stats = ExecutionStats(total=total)
+        policy = self.policy
+        if policy is None and self.chaos is not None:
+            from repro.harness.resilient import RetryPolicy
+
+            policy = RetryPolicy()
+        journal = self.journal
+        retry_failed = policy is not None and policy.retry_failed_on_resume
 
         pending: list[tuple[int, SimJob]] = []
         keys: list[str | None] = [None] * total
-        for index, job in enumerate(jobs):
-            if self.cache is not None:
-                keys[index] = job_key(job)
-                cached = self.cache.lookup(keys[index])
-                if cached is not None:
-                    records[index] = cached
-                    stats.cache_hits += 1
-                    done += 1
-                    self._report(done, total, cached)
+        try:
+            for index, job in enumerate(jobs):
+                if self.cache is None and journal is None:
+                    pending.append((index, job))
                     continue
-            pending.append((index, job))
+                keys[index] = job_key(job)
+                key = keys[index]
+                journal_done = (
+                    journal is not None and key in journal.completed_keys
+                )
+                if (
+                    journal is not None
+                    and key in journal.failed_keys
+                    and not retry_failed
+                ):
+                    # Replay the quarantine verdict from the interrupted
+                    # run instead of re-running a known-poison job.
+                    failure = journal.failure_for(key, index)
+                    records[index] = failure.record()
+                    stats.failures += 1
+                    stats.resumed += 1
+                    stats.failures_detail.append(failure)
+                    done += 1
+                    self._report(done, total, records[index])
+                    continue
+                if self.cache is not None:
+                    cached = self.cache.lookup(key)
+                    if cached is not None:
+                        records[index] = cached
+                        stats.cache_hits += 1
+                        if journal_done:
+                            stats.resumed += 1
+                        elif journal is not None:
+                            journal.record_ok(key)
+                        done += 1
+                        self._report(done, total, cached)
+                        continue
+                pending.append((index, job))
 
-        for index, record in self._execute(pending):
-            records[index] = record
-            stats.simulated += 1
-            self.simulations_run += 1
-            if self.cache is not None and keys[index] is not None:
-                self.cache.store(keys[index], record)
-            done += 1
-            self._report(done, total, record)
+            for index, outcome in self._execute(pending, policy, stats):
+                if isinstance(outcome, dict):
+                    records[index] = outcome
+                    stats.simulated += 1
+                    self.simulations_run += 1
+                    if self.cache is not None and keys[index] is not None:
+                        self.cache.store(keys[index], outcome)
+                    if journal is not None and keys[index] is not None:
+                        journal.record_ok(keys[index])
+                    report = outcome
+                else:  # JobFailure from the resilient layer
+                    if keys[index] is not None and outcome.key is None:
+                        from dataclasses import replace
 
-        stats.elapsed_seconds = time.monotonic() - started
-        self.last_stats = stats
+                        outcome = replace(outcome, key=keys[index])
+                    records[index] = outcome.record()
+                    stats.failures += 1
+                    stats.failures_detail.append(outcome)
+                    if journal is not None and keys[index] is not None:
+                        journal.record_failure(keys[index], outcome)
+                    report = records[index]
+                done += 1
+                self._report(done, total, report)
+        finally:
+            stats.elapsed_seconds = time.monotonic() - started
+            self.last_stats = stats
+            if journal is not None:
+                journal.flush()
+            finish = getattr(self.progress, "finish", None)
+            if finish is not None and done == total:
+                finish(stats)
         assert all(r is not None for r in records)
         return records  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
 
     def _execute(
-        self, pending: list[tuple[int, SimJob]]
-    ) -> Iterable[tuple[int, dict]]:
+        self,
+        pending: list[tuple[int, SimJob]],
+        policy=None,
+        stats: ExecutionStats | None = None,
+    ) -> Iterable[tuple[int, object]]:
         if not pending:
             return
-        if self.workers <= 1 or len(pending) == 1 or not _spawn_supported():
-            for index, job in pending:
-                yield index, execute_job(job)
+        if policy is None and self.chaos is None:
+            # Classic unsupervised path, byte-for-byte the original.
+            if (
+                self.workers <= 1
+                or len(pending) == 1
+                or not _spawn_supported()
+            ):
+                for index, job in pending:
+                    yield index, execute_job(job)
+                return
+            context = multiprocessing.get_context(self.start_method)
+            processes = min(self.workers, len(pending))
+            with context.Pool(processes=processes) as pool:
+                yield from pool.imap_unordered(_execute_indexed, pending)
             return
-        context = multiprocessing.get_context(self.start_method)
-        processes = min(self.workers, len(pending))
-        with context.Pool(processes=processes) as pool:
-            yield from pool.imap_unordered(_execute_indexed, pending)
+
+        from repro.harness import resilient
+
+        if stats is None:
+            stats = ExecutionStats(total=len(pending))
+        on_retry = getattr(self.progress, "note_retry", None)
+        if self.workers <= 1 or not _spawn_supported():
+            yield from resilient.run_serial(
+                pending, policy, self.chaos, stats, on_retry=on_retry
+            )
+            return
+        yield from resilient.run_pooled(
+            pending,
+            policy,
+            self.chaos,
+            stats,
+            workers=min(self.workers, len(pending)),
+            start_method=self.start_method,
+            on_retry=on_retry,
+        )
 
     def _report(self, done: int, total: int, record: dict) -> None:
         if self.progress is not None:
@@ -349,26 +569,60 @@ class ProgressPrinter:
     The ETA is a linear extrapolation from completed jobs — coarse but
     honest for homogeneous sweeps.  Writes to ``stream`` (stderr by
     default) so records on stdout stay machine-readable.
+
+    Failure-aware: under a resilient policy the status line grows
+    ``retry``/``failed`` counts as they happen (the executor feeds
+    :meth:`note_retry`; failures are recognised by their marker
+    records), and :meth:`finish` prints a final ``ok/failed/retried``
+    summary instead of only ``done/total``.
     """
 
     def __init__(self, stream=None, label: str = "sweep") -> None:
         self.stream = stream if stream is not None else sys.stderr
         self.label = label
         self._started: float | None = None
+        self.retries = 0
+        self.failed = 0
+
+    def note_retry(self, index: int, attempt: int, reason: str) -> None:
+        """Executor hook: one attempt of job ``index`` is being retried."""
+        self.retries += 1
+        print(
+            f"[{self.label}] retry job {index} "
+            f"(attempt {attempt + 1} failed: {reason})",
+            file=self.stream,
+            flush=True,
+        )
 
     def __call__(self, done: int, total: int, record: dict) -> None:
         now = time.monotonic()
         if self._started is None:
             self._started = now
+        if is_failure_record(record):
+            self.failed += 1
         elapsed = now - self._started
         if done and done < total:
             eta = elapsed / done * (total - done)
             tail = f"elapsed {elapsed:6.1f}s eta {eta:6.1f}s"
         else:
             tail = f"elapsed {elapsed:6.1f}s"
+        if self.retries:
+            tail += f" retry {self.retries}"
+        if self.failed:
+            tail += f" failed {self.failed}"
         percent = 100.0 * done / total if total else 100.0
         print(
             f"[{self.label}] {done}/{total} ({percent:5.1f}%) {tail}",
+            file=self.stream,
+            flush=True,
+        )
+
+    def finish(self, stats: ExecutionStats) -> None:
+        """Executor hook: final ``ok/failed/retried`` summary line."""
+        ok = stats.total - stats.failures
+        print(
+            f"[{self.label}] finished: {ok} ok, {stats.failures} failed, "
+            f"{stats.retries} retried",
             file=self.stream,
             flush=True,
         )

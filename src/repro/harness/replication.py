@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.core.config import SimulationConfig
 from repro.core.simulator import SimulationResult, run_simulation
-from repro.harness.parallel import ParallelExecutor
+from repro.harness.parallel import ParallelExecutor, is_failure_record
 
 #: Two-sided 95% t-distribution critical values by degrees of freedom.
 #: (Enough entries for typical seed counts; falls back to the normal
@@ -102,6 +102,14 @@ def replicate(
         for seed in seeds
     ]
     records = executor.run_configs(configs)
+    # Under a resilient executor a quarantined seed arrives as a failure
+    # record; summarise the surviving seeds rather than KeyError-ing.
+    records = [r for r in records if not is_failure_record(r)]
+    if not records:
+        raise RuntimeError(
+            f"every replication of {config.router}/{config.traffic} at "
+            f"rate {config.injection_rate} failed"
+        )
     return {
         metric: MetricSummary(metric, tuple(float(r[metric]) for r in records))
         for metric in REPLICATED_METRICS

@@ -1,0 +1,874 @@
+"""Fault-tolerant sweep execution: retries, deadlines, crash recovery.
+
+The paper's thesis is graceful degradation — a RoCo mesh keeps
+delivering packets while components die.  This module applies the same
+discipline to the harness itself: a 1000-job sweep must survive a
+worker segfault, a hung cell, or one job raising
+:class:`~repro.core.simulator.DrainTimeoutError`, and still produce the
+records every other job would have produced.
+
+Pieces (consumed by :class:`~repro.harness.parallel.ParallelExecutor`
+when a :class:`RetryPolicy` is supplied):
+
+* :class:`RetryPolicy` — per-job wall-clock deadlines, bounded retry
+  with exponential backoff and a global retry budget, speculative
+  re-execution of stragglers;
+* :class:`JobFailure` — a structured quarantine record for a job that
+  could not be completed; it travels through ``run_jobs`` results (as a
+  marker dict, see ``FAILURE_MARKER``) instead of an exception that
+  kills the sweep;
+* :func:`run_serial` / :func:`run_pooled` — the two execution engines.
+  The pooled engine replaces the opaque ``multiprocessing.Pool`` with a
+  managed worker set: one pipe per worker, heartbeat threads, liveness
+  checks, kill-and-replenish on crash, deadline or heartbeat loss;
+* :class:`SweepJournal` — an append-only JSONL journal of completed
+  ``job_key``s and failures, enabling ``--resume`` of interrupted
+  sweeps with zero duplicate simulations;
+* :func:`validate_record` — structural validation of worker results so
+  a corrupted record is retried instead of silently accepted.
+
+Failure taxonomy (docs/resilient-execution.md):
+
+* **fatal** — deterministic simulation errors
+  (:class:`~repro.core.simulator.DeadlockError`, which includes
+  ``DrainTimeoutError``, and ``BackendUnsupportedError``).  Retrying a
+  pure function of the job cannot help; quarantine immediately.
+* **transient** — worker crashes, deadline timeouts, corrupted results
+  and any other exception.  Retried with exponential backoff until the
+  per-job ``max_retries`` or the sweep-wide ``retry_budget`` runs out,
+  then quarantined as a crash loop.
+
+Determinism: a simulation is a pure function of its job, so a retried
+or speculatively duplicated execution returns the same record — the
+chaos harness (:mod:`repro.harness.chaos`) asserts that a fault-ridden
+sweep converges bit-identically to the fault-free run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import math
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
+
+from repro.core.simulator import DeadlockError
+from repro.core.soa.errors import BackendUnsupportedError
+from repro.harness.parallel import (
+    FAILURE_MARKER,
+    ExecutionStats,
+    SimJob,
+    execute_job,
+)
+
+#: Exception types for which a retry is provably pointless: the
+#: simulator is deterministic, so the same job raises the same error.
+FATAL_EXCEPTIONS = (DeadlockError, BackendUnsupportedError)
+
+
+class TransientJobError(RuntimeError):
+    """Base class for injected / simulated transient job errors."""
+
+
+class WorkerCrashError(TransientJobError):
+    """A worker process died mid-job (serial chaos stand-in included)."""
+
+
+class JobTimeoutError(TransientJobError):
+    """A job attempt exceeded its wall-clock deadline."""
+
+
+class CorruptResultError(TransientJobError):
+    """A worker returned a structurally invalid record."""
+
+
+# ----------------------------------------------------------------------
+# Policy and failure records
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Supervision knobs for one sweep (all durations in seconds).
+
+    ``job_timeout`` is enforced only by the pooled engine — an inline
+    (serial) execution cannot be preempted.  ``max_retries`` bounds the
+    re-executions of a single job; ``retry_budget`` bounds retries
+    across the whole call (``None`` = unbounded).  ``speculative``
+    launches a duplicate of a straggling job on an otherwise idle
+    worker; the first result wins (determinism makes duplicates safe).
+    """
+
+    job_timeout: float | None = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    retry_budget: int | None = None
+    speculative: bool = False
+    straggler_factor: float = 4.0
+    straggler_min_seconds: float = 2.0
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 30.0
+    validate: bool = True
+    retry_failed_on_resume: bool = False
+    poll_interval: float = 0.02
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before launching ``attempt`` (the first retry is 1)."""
+        if self.backoff_base <= 0:
+            return 0.0
+        return self.backoff_base * self.backoff_factor ** max(attempt - 1, 0)
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """A job the supervisor gave up on, as data instead of an exception.
+
+    ``kind`` is one of ``"fatal"`` (deterministic simulation error),
+    ``"retries-exhausted"`` (crash loop / persistent transient),
+    ``"retry-budget"`` (sweep-wide budget ran out first).
+    ``attempts`` counts every launch, the first execution included.
+    """
+
+    index: int
+    kind: str
+    error_type: str
+    message: str
+    attempts: int
+    key: str | None = None
+
+    def record(self) -> dict:
+        """The marker dict carried through ``run_jobs`` results."""
+        return {
+            FAILURE_MARKER: True,
+            "index": self.index,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "key": self.key,
+        }
+
+    @classmethod
+    def from_record(cls, payload: dict, index: int | None = None) -> "JobFailure":
+        return cls(
+            index=payload["index"] if index is None else index,
+            kind=payload["kind"],
+            error_type=payload["error_type"],
+            message=payload["message"],
+            attempts=payload["attempts"],
+            key=payload.get("key"),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"job {self.index} [{self.kind}] {self.error_type} "
+            f"after {self.attempts} attempt(s): {self.message}"
+        )
+
+
+def split_failures(records: list[dict]) -> tuple[list[dict], list[JobFailure]]:
+    """Partition ``run_jobs`` output into (ok records, failures)."""
+    ok: list[dict] = []
+    failed: list[JobFailure] = []
+    for record in records:
+        if record.get(FAILURE_MARKER):
+            failed.append(JobFailure.from_record(record))
+        else:
+            ok.append(record)
+    return ok, failed
+
+
+# ----------------------------------------------------------------------
+# Result validation (corrupt-result detection)
+# ----------------------------------------------------------------------
+
+#: Fields every genuine result record carries (a structural subset of
+#: repro.harness.export.RESULT_FIELDS), with non-negativity checks for
+#: the numeric ones.  Cheap enough to run on every completion.
+_REQUIRED_FIELDS = ("router", "routing", "traffic", "seed", "cycles")
+_NON_NEGATIVE_FIELDS = ("average_latency", "throughput", "injection_rate")
+
+
+def validate_record(record: object) -> None:
+    """Raise :class:`CorruptResultError` unless ``record`` looks sane."""
+    if not isinstance(record, dict):
+        raise CorruptResultError(f"record is {type(record).__name__}, not dict")
+    for name in _REQUIRED_FIELDS:
+        if name not in record:
+            raise CorruptResultError(f"record missing field {name!r}")
+    for name in _NON_NEGATIVE_FIELDS:
+        value = record.get(name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise CorruptResultError(f"field {name!r} is not a number")
+        if math.isnan(value) or math.isinf(value) or value < 0:
+            raise CorruptResultError(f"field {name!r} has bad value {value!r}")
+    cycles = record["cycles"]
+    if not isinstance(cycles, int) or cycles < 1:
+        raise CorruptResultError(f"field 'cycles' has bad value {cycles!r}")
+
+
+# ----------------------------------------------------------------------
+# Sweep journal (resume support)
+# ----------------------------------------------------------------------
+
+
+class SweepJournal:
+    """Append-only JSONL journal of completed job keys and failures.
+
+    One line per event: ``{"event": "ok", "key": ...}`` or ``{"event":
+    "failure", "key": ..., "failure": {...}}``.  Opened with
+    ``resume=True`` it replays an existing journal (tolerating a
+    truncated final line from a crash); otherwise it starts fresh.
+    Every append is flushed and fsynced so a killed sweep loses at most
+    the in-flight line.
+    """
+
+    def __init__(self, path: str | Path, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.completed_keys: set[str] = set()
+        self.failures: dict[str, dict] = {}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and self.path.exists():
+            self._load()
+            self._handle = self.path.open("a", encoding="utf-8")
+        else:
+            self._handle = self.path.open("w", encoding="utf-8")
+
+    def _load(self) -> None:
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # truncated tail of an interrupted run
+            key = entry.get("key")
+            if not key:
+                continue
+            if entry.get("event") == "ok":
+                self.completed_keys.add(key)
+                self.failures.pop(key, None)
+            elif entry.get("event") == "failure":
+                if key not in self.completed_keys:
+                    self.failures[key] = entry.get("failure", {})
+
+    @property
+    def failed_keys(self) -> set[str]:
+        return set(self.failures)
+
+    def failure_for(self, key: str, index: int) -> JobFailure:
+        """Replay a journaled failure at the current run's job index."""
+        return replace(
+            JobFailure.from_record(self.failures[key], index=index), key=key
+        )
+
+    def record_ok(self, key: str) -> None:
+        if key in self.completed_keys:
+            return
+        self.completed_keys.add(key)
+        self.failures.pop(key, None)
+        self._append({"event": "ok", "key": key})
+
+    def record_failure(self, key: str, failure: JobFailure) -> None:
+        payload = failure.record()
+        payload.pop(FAILURE_MARKER, None)
+        self.failures[key] = payload
+        self._append({"event": "failure", "key": key, "failure": payload})
+
+    def _append(self, entry: dict) -> None:
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self.flush()
+
+    def flush(self) -> None:
+        if self._handle.closed:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __len__(self) -> int:
+        return len(self.completed_keys) + len(self.failures)
+
+
+# ----------------------------------------------------------------------
+# Shared retry bookkeeping
+# ----------------------------------------------------------------------
+
+
+class _RetryLedger:
+    """Per-call retry accounting shared by both engines."""
+
+    def __init__(self, policy: RetryPolicy, stats: ExecutionStats, on_retry):
+        self.policy = policy
+        self.stats = stats
+        self.on_retry = on_retry
+        self.budget = policy.retry_budget
+        self.launches: dict[int, int] = {}
+
+    def launched(self, index: int) -> int:
+        """Count one launch of ``index``; returns the attempt number."""
+        attempt = self.launches.get(index, 0)
+        self.launches[index] = attempt + 1
+        return attempt
+
+    def attempts(self, index: int) -> int:
+        return self.launches.get(index, 0)
+
+    def disposition(self, index: int, fatal: bool) -> str | None:
+        """``None`` to retry, else the :class:`JobFailure` kind."""
+        if fatal:
+            return "fatal"
+        if self.attempts(index) > self.policy.max_retries:
+            return "retries-exhausted"
+        if self.budget is not None and self.budget <= 0:
+            return "retry-budget"
+        return None
+
+    def consume_retry(self, index: int, attempt: int, reason: str) -> None:
+        if self.budget is not None:
+            self.budget -= 1
+        self.stats.retries += 1
+        if self.on_retry is not None:
+            self.on_retry(index, attempt, reason)
+
+
+def _classify(exc: Exception) -> tuple[str, bool]:
+    """Map an exception to (stats counter name, fatal?)."""
+    if isinstance(exc, WorkerCrashError):
+        return "worker_crashes", False
+    if isinstance(exc, JobTimeoutError):
+        return "timeouts", False
+    if isinstance(exc, CorruptResultError):
+        return "corrupt_results", False
+    return "errors", isinstance(exc, FATAL_EXCEPTIONS)
+
+
+def _bump(stats: ExecutionStats, counter: str) -> None:
+    if counter != "errors":
+        setattr(stats, counter, getattr(stats, counter) + 1)
+
+
+# ----------------------------------------------------------------------
+# Serial engine
+# ----------------------------------------------------------------------
+
+
+def run_serial(
+    pending: list[tuple[int, SimJob]],
+    policy: RetryPolicy,
+    chaos,
+    stats: ExecutionStats,
+    on_retry=None,
+):
+    """Inline execution with retry/quarantine semantics.
+
+    Deadlines are not enforceable in-process (the chaos harness maps a
+    hang to :class:`JobTimeoutError` instead so the retry path is still
+    exercised serially); everything else matches the pooled engine.
+    """
+    ledger = _RetryLedger(policy, stats, on_retry)
+    for index, job in pending:
+        while True:
+            attempt = ledger.launched(index)
+            try:
+                if chaos is not None:
+                    from repro.harness.chaos import chaos_execute
+
+                    record = chaos_execute(job, index, attempt, chaos)
+                else:
+                    record = execute_job(job)
+                if policy.validate:
+                    validate_record(record)
+            except Exception as exc:
+                counter, fatal = _classify(exc)
+                _bump(stats, counter)
+                kind = ledger.disposition(index, fatal)
+                if kind is not None:
+                    yield (
+                        index,
+                        JobFailure(
+                            index=index,
+                            kind=kind,
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            attempts=ledger.attempts(index),
+                        ),
+                    )
+                    break
+                ledger.consume_retry(index, attempt, type(exc).__name__)
+                delay = policy.backoff(ledger.attempts(index))
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            yield index, record
+            break
+
+
+# ----------------------------------------------------------------------
+# Pooled engine: managed worker set
+# ----------------------------------------------------------------------
+
+
+def _worker_main(worker_id, conn, chaos, heartbeat_interval):
+    """Worker loop: recv task, execute, send result; heartbeat thread.
+
+    Top-level so ``spawn`` children can import it.  All sends share one
+    lock because the heartbeat thread and the main loop write to the
+    same pipe.
+    """
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def _send(message) -> None:
+        with send_lock:
+            conn.send(message)
+
+    def _beat() -> None:
+        from repro.harness import chaos as chaos_mod
+
+        while not stop.wait(heartbeat_interval):
+            if chaos_mod.heartbeat_suppressed():
+                return  # chaos "wedge": simulate a frozen interpreter
+            try:
+                _send(("hb", worker_id))
+            except (OSError, ValueError):
+                return
+
+    threading.Thread(target=_beat, daemon=True).start()
+    try:
+        _send(("ready", worker_id))
+        while True:
+            task = conn.recv()
+            if task is None:
+                break
+            index, attempt, job = task
+            try:
+                if chaos is not None:
+                    from repro.harness.chaos import chaos_execute
+
+                    record = chaos_execute(
+                        job, index, attempt, chaos, in_worker=True
+                    )
+                else:
+                    record = execute_job(job)
+                _send(("done", worker_id, index, attempt, record))
+            except Exception as exc:
+                _, fatal = _classify(exc)
+                _send(
+                    (
+                        "error",
+                        worker_id,
+                        index,
+                        attempt,
+                        type(exc).__name__,
+                        str(exc),
+                        fatal,
+                    )
+                )
+    except (EOFError, KeyboardInterrupt, OSError):
+        pass
+    finally:
+        stop.set()
+
+
+@dataclass
+class _Running:
+    index: int
+    attempt: int
+    started: float
+    speculative: bool = False
+
+
+#: Minimum grace before a worker that has not yet spoken (still booting
+#: the interpreter / importing the simulator) can be declared wedged.
+_BOOT_GRACE = 60.0
+
+
+class _WorkerHandle:
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.last_heartbeat = time.monotonic()
+        self.running: _Running | None = None
+        #: Set once the worker has sent any message; heartbeat timeouts
+        #: only apply after that (spawn cost must not look like a wedge).
+        self.ready = False
+
+
+class _PoolSupervisor:
+    """Managed worker set replacing the opaque ``multiprocessing.Pool``.
+
+    Each worker is a ``spawn`` process on its own duplex pipe with a
+    heartbeat thread.  The supervisor loop assigns tasks to idle
+    workers, drains messages, enforces per-attempt deadlines and
+    heartbeat liveness, kills and replenishes crashed or wedged
+    workers, schedules backoff retries, and speculatively re-executes
+    stragglers on idle workers.  Results are yielded as ``(index,
+    record | JobFailure)`` in completion order.
+    """
+
+    def __init__(
+        self,
+        pending: list[tuple[int, SimJob]],
+        policy: RetryPolicy,
+        chaos,
+        workers: int,
+        stats: ExecutionStats,
+        context,
+        on_retry=None,
+    ) -> None:
+        self.jobs = dict(pending)
+        self.policy = policy
+        self.chaos = chaos
+        self.pool_size = max(1, min(workers, len(pending)))
+        self.stats = stats
+        self.context = context
+        self.ledger = _RetryLedger(policy, stats, on_retry)
+        self.ready: deque[int] = deque(index for index, _ in pending)
+        self.delayed: list[tuple[float, int, int]] = []  # (when, seq, index)
+        self._seq = itertools.count()
+        self._worker_ids = itertools.count()
+        self.workers: dict[int, _WorkerHandle] = {}
+        self.inflight: dict[int, set[int]] = {}  # index -> worker ids
+        self.resolved: set[int] = set()
+        self.durations: list[float] = []
+        self.out: deque[tuple[int, object]] = deque()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        worker_id = next(self._worker_ids)
+        parent_conn, child_conn = self.context.Pipe(duplex=True)
+        process = self.context.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                child_conn,
+                self.chaos,
+                self.policy.heartbeat_interval,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.workers[worker_id] = _WorkerHandle(worker_id, process, parent_conn)
+
+    def _discard_worker(self, handle: _WorkerHandle, kill: bool) -> None:
+        self.workers.pop(handle.worker_id, None)
+        if handle.running is not None:
+            self.inflight.get(handle.running.index, set()).discard(
+                handle.worker_id
+            )
+            handle.running = None
+        if kill and handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(timeout=1.0)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+
+    def _shutdown(self) -> None:
+        for handle in list(self.workers.values()):
+            if handle.running is None and handle.process.is_alive():
+                try:
+                    handle.conn.send(None)
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+            else:
+                handle.process.kill()
+        deadline = time.monotonic() + 2.0
+        for handle in list(self.workers.values()):
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self.workers.clear()
+
+    # -- scheduling ----------------------------------------------------
+
+    def _outstanding(self) -> int:
+        return len(self.jobs) - len(self.resolved)
+
+    def _promote_delayed(self) -> None:
+        now = time.monotonic()
+        while self.delayed and self.delayed[0][0] <= now:
+            _, _, index = heapq.heappop(self.delayed)
+            if index not in self.resolved:
+                self.ready.append(index)
+
+    def _idle_workers(self) -> list[_WorkerHandle]:
+        return [h for h in self.workers.values() if h.running is None]
+
+    def _assign_ready(self) -> None:
+        while self.ready:
+            # Replenish the pool if workers died while work remains.
+            idle = self._idle_workers()
+            if not idle:
+                if len(self.workers) < self.pool_size:
+                    self._spawn_worker()
+                return
+            index = self.ready.popleft()
+            if index in self.resolved:
+                continue
+            self._launch(idle[0], index, speculative=False)
+
+    def _launch(
+        self, handle: _WorkerHandle, index: int, speculative: bool
+    ) -> None:
+        attempt = self.ledger.launched(index)
+        try:
+            handle.conn.send((index, attempt, self.jobs[index]))
+        except (OSError, ValueError, BrokenPipeError):
+            # Worker died between liveness check and send; put the job
+            # back and let the liveness pass replace the worker.
+            self.ledger.launches[index] -= 1
+            self.ready.appendleft(index)
+            return
+        handle.running = _Running(
+            index=index,
+            attempt=attempt,
+            started=time.monotonic(),
+            speculative=speculative,
+        )
+        self.inflight.setdefault(index, set()).add(handle.worker_id)
+        if speculative:
+            self.stats.speculative += 1
+
+    def _maybe_speculate(self) -> None:
+        if not self.policy.speculative or self.ready or self.delayed:
+            return
+        idle = self._idle_workers()
+        if not idle:
+            return
+        threshold = self.policy.straggler_min_seconds
+        if self.durations:
+            median = sorted(self.durations)[len(self.durations) // 2]
+            threshold = max(threshold, self.policy.straggler_factor * median)
+        now = time.monotonic()
+        for handle in list(self.workers.values()):
+            if not idle:
+                return
+            running = handle.running
+            if running is None or running.index in self.resolved:
+                continue
+            if len(self.inflight.get(running.index, ())) > 1:
+                continue  # already duplicated
+            if now - running.started < threshold:
+                continue
+            self._launch(idle.pop(), running.index, speculative=True)
+
+    # -- failure handling ----------------------------------------------
+
+    def _job_finished(self, handle: _WorkerHandle) -> _Running | None:
+        running = handle.running
+        handle.running = None
+        if running is not None:
+            self.inflight.get(running.index, set()).discard(handle.worker_id)
+        return running
+
+    def _complete(self, running: _Running, record: dict) -> None:
+        if running.index in self.resolved:
+            return  # speculative loser or post-timeout late arrival
+        self.resolved.add(running.index)
+        self.durations.append(time.monotonic() - running.started)
+        if running.speculative:
+            self.stats.speculative_wins += 1
+        self.out.append((running.index, record))
+
+    def _failed_attempt(
+        self, index: int, attempt: int, error_type: str, message: str,
+        counter: str, fatal: bool,
+    ) -> None:
+        if index in self.resolved:
+            return
+        _bump(self.stats, counter)
+        if self.inflight.get(index):
+            # A duplicate of this job is still running; let it decide.
+            return
+        kind = self.ledger.disposition(index, fatal)
+        if kind is not None:
+            self.resolved.add(index)
+            self.out.append(
+                (
+                    index,
+                    JobFailure(
+                        index=index,
+                        kind=kind,
+                        error_type=error_type,
+                        message=message,
+                        attempts=self.ledger.attempts(index),
+                    ),
+                )
+            )
+            return
+        self.ledger.consume_retry(index, attempt, error_type)
+        when = time.monotonic() + self.policy.backoff(
+            self.ledger.attempts(index)
+        )
+        heapq.heappush(self.delayed, (when, next(self._seq), index))
+
+    # -- message / liveness passes -------------------------------------
+
+    def _handle_message(self, handle: _WorkerHandle, message) -> None:
+        kind = message[0]
+        handle.ready = True
+        if kind in ("hb", "ready"):
+            handle.last_heartbeat = time.monotonic()
+            return
+        if kind == "done":
+            _, _, index, attempt, record = message
+            running = self._job_finished(handle)
+            handle.last_heartbeat = time.monotonic()
+            if running is None or index in self.resolved:
+                return
+            if self.policy.validate:
+                try:
+                    validate_record(record)
+                except CorruptResultError as exc:
+                    self._failed_attempt(
+                        index, attempt, type(exc).__name__, str(exc),
+                        "corrupt_results", False,
+                    )
+                    return
+            self._complete(running, record)
+            return
+        if kind == "error":
+            _, _, index, attempt, error_type, text, fatal = message
+            self._job_finished(handle)
+            handle.last_heartbeat = time.monotonic()
+            counter = "errors"
+            if error_type == "JobTimeoutError":
+                counter = "timeouts"
+            elif error_type == "WorkerCrashError":
+                counter = "worker_crashes"
+            elif error_type == "CorruptResultError":
+                counter = "corrupt_results"
+            self._failed_attempt(index, attempt, error_type, text, counter, fatal)
+
+    def _drain_messages(self) -> None:
+        conns = {h.conn: h for h in self.workers.values()}
+        if not conns:
+            time.sleep(self.policy.poll_interval)
+            return
+        try:
+            ready = _connection_wait(
+                list(conns), timeout=self.policy.poll_interval
+            )
+        except OSError:
+            return
+        for conn in ready:
+            handle = conns[conn]
+            while True:
+                try:
+                    if not conn.poll():
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    break  # dead worker; the liveness pass reaps it
+                self._handle_message(handle, message)
+
+    def _check_liveness(self) -> None:
+        now = time.monotonic()
+        policy = self.policy
+        for handle in list(self.workers.values()):
+            running = handle.running
+            if not handle.process.is_alive():
+                self._discard_worker(handle, kill=False)
+                if running is not None:
+                    self._failed_attempt(
+                        running.index,
+                        running.attempt,
+                        "WorkerCrashError",
+                        f"worker {handle.worker_id} died "
+                        f"(exitcode {handle.process.exitcode})",
+                        "worker_crashes",
+                        False,
+                    )
+                continue
+            if (
+                running is not None
+                and policy.job_timeout is not None
+                and now - running.started > policy.job_timeout
+            ):
+                self._discard_worker(handle, kill=True)
+                self._failed_attempt(
+                    running.index,
+                    running.attempt,
+                    "JobTimeoutError",
+                    f"attempt exceeded {policy.job_timeout:.1f}s deadline",
+                    "timeouts",
+                    False,
+                )
+                continue
+            hb_timeout = policy.heartbeat_timeout
+            if hb_timeout is not None and not handle.ready:
+                hb_timeout = max(hb_timeout, _BOOT_GRACE)
+            if (
+                hb_timeout is not None
+                and now - handle.last_heartbeat > hb_timeout
+            ):
+                self._discard_worker(handle, kill=True)
+                if running is not None:
+                    self._failed_attempt(
+                        running.index,
+                        running.attempt,
+                        "WorkerCrashError",
+                        f"worker {handle.worker_id} stopped heartbeating",
+                        "worker_crashes",
+                        False,
+                    )
+
+    # -- main loop -----------------------------------------------------
+
+    def events(self):
+        try:
+            for _ in range(self.pool_size):
+                self._spawn_worker()
+            while len(self.resolved) < len(self.jobs):
+                self._promote_delayed()
+                self._assign_ready()
+                self._maybe_speculate()
+                self._drain_messages()
+                self._check_liveness()
+                while self.out:
+                    yield self.out.popleft()
+            while self.out:
+                yield self.out.popleft()
+        finally:
+            self._shutdown()
+
+
+def run_pooled(
+    pending: list[tuple[int, SimJob]],
+    policy: RetryPolicy,
+    chaos,
+    stats: ExecutionStats,
+    workers: int,
+    start_method: str = "spawn",
+    on_retry=None,
+):
+    """Supervised pool execution; yields ``(index, record | JobFailure)``."""
+    import multiprocessing
+
+    context = multiprocessing.get_context(start_method)
+    supervisor = _PoolSupervisor(
+        pending, policy, chaos, workers, stats, context, on_retry=on_retry
+    )
+    yield from supervisor.events()

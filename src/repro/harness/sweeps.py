@@ -82,6 +82,8 @@ class Sweep:
         cache: ResultCache | None = None,
         cache_dir: str | Path | None = None,
         executor: ParallelExecutor | None = None,
+        policy=None,
+        journal=None,
     ) -> list[dict]:
         """Run the grid; returns one flat record per configuration.
 
@@ -91,14 +93,23 @@ class Sweep:
         pool (``0`` = all cores; default serial); results are identical
         to a serial run and come back in grid order either way.
         ``cache`` / ``cache_dir`` enable the on-disk result cache so
-        repeated runs skip already-simulated points.  A pre-built
-        ``executor`` overrides all three knobs.
+        repeated runs skip already-simulated points.  ``policy`` (a
+        :class:`~repro.harness.resilient.RetryPolicy`) supervises the
+        grid — one crashing or hanging point is retried/quarantined
+        instead of aborting the sweep — and ``journal`` (a
+        :class:`~repro.harness.resilient.SweepJournal`) makes an
+        interrupted sweep resumable.  A pre-built ``executor`` overrides
+        all of these knobs.
         """
         if executor is None:
             if cache is None and cache_dir is not None:
                 cache = ResultCache(cache_dir)
             executor = ParallelExecutor(
-                workers=workers, cache=cache, progress=progress
+                workers=workers,
+                cache=cache,
+                progress=progress,
+                policy=policy,
+                journal=journal,
             )
         elif progress is not None and executor.progress is None:
             executor.progress = progress

@@ -1,0 +1,203 @@
+"""Chaos-harness tests: fault injection is deterministic, and sweeps
+run under chaos converge bit-identical to fault-free runs.
+
+The pooled cells here spawn real worker processes and inject real
+faults (``os._exit``, sleeps); they are kept small (3x3 mesh, short
+runs) so the whole file stays in CI-smoke territory.  The full grid
+lives behind ``python -m repro chaos --grid`` (the CI chaos-smoke job).
+"""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.harness.chaos import (
+    CRASH_EXIT_CODE,
+    ChaosConfig,
+    ChaosRule,
+    ChaosTransientError,
+    chaos_execute,
+    run_chaos_grid,
+)
+from repro.harness.parallel import ParallelExecutor, SimJob, is_failure_record
+from repro.harness.resilient import (
+    CorruptResultError,
+    RetryPolicy,
+    validate_record,
+)
+
+BASE = {
+    "width": 3,
+    "height": 3,
+    "warmup_packets": 10,
+    "measure_packets": 60,
+    "injection_rate": 0.08,
+}
+
+
+def jobs_for(seeds=(1, 2, 3)):
+    return [
+        SimJob.of(SimulationConfig(**BASE, seed=seed)) for seed in seeds
+    ]
+
+
+FAST = RetryPolicy(backoff_base=0.0, max_retries=3)
+
+
+class TestChaosRules:
+    def test_rule_matching_by_index_and_attempt(self):
+        config = ChaosConfig(
+            rules=(
+                ChaosRule(kind="transient", indices=(1,), attempts=(0,)),
+                ChaosRule(kind="crash", indices=(2,), attempts=None),
+            )
+        )
+        assert config.rule_for(0, 0) is None
+        assert config.rule_for(1, 0).kind == "transient"
+        assert config.rule_for(1, 1) is None  # attempt 1 not targeted
+        assert config.rule_for(2, 0).kind == "crash"
+        assert config.rule_for(2, 5).kind == "crash"  # poison: every attempt
+
+    def test_first_matching_rule_wins(self):
+        config = ChaosConfig(
+            rules=(
+                ChaosRule(kind="transient", indices=(0,), attempts=(0,)),
+                ChaosRule(kind="crash", indices=None, attempts=(0,)),
+            )
+        )
+        assert config.rule_for(0, 0).kind == "transient"
+        assert config.rule_for(1, 0).kind == "crash"
+
+    def test_indices_none_matches_all(self):
+        config = ChaosConfig(
+            rules=(ChaosRule(kind="transient", indices=None, attempts=(0,)),)
+        )
+        for index in range(5):
+            assert config.rule_for(index, 0) is not None
+
+
+class TestChaosExecuteSerial:
+    """Serial stand-ins: faults surface as typed exceptions."""
+
+    def job(self):
+        return jobs_for(seeds=(1,))[0]
+
+    def test_clean_execution_matches_direct_run(self):
+        direct = ParallelExecutor().run_jobs([self.job()])[0]
+        chaotic = chaos_execute(self.job(), 0, 0, ChaosConfig(rules=()))
+        assert chaotic == direct
+
+    def test_transient_raises_chaos_error(self):
+        chaos = ChaosConfig(
+            rules=(ChaosRule(kind="transient", indices=(0,), attempts=(0,)),)
+        )
+        with pytest.raises(ChaosTransientError):
+            chaos_execute(self.job(), 0, 0, chaos)
+        # Attempt 1 is clean — the fault is injected exactly once.
+        record = chaos_execute(self.job(), 0, 1, chaos)
+        validate_record(record)
+
+    def test_crash_raises_worker_crash_standin_serially(self):
+        from repro.harness.resilient import WorkerCrashError
+
+        chaos = ChaosConfig(
+            rules=(ChaosRule(kind="crash", indices=(0,), attempts=(0,)),)
+        )
+        with pytest.raises(WorkerCrashError):
+            chaos_execute(self.job(), 0, 0, chaos)
+
+    def test_hang_raises_timeout_standin_serially(self):
+        from repro.harness.resilient import JobTimeoutError
+
+        chaos = ChaosConfig(
+            rules=(ChaosRule(kind="hang", indices=(0,), attempts=(0,)),)
+        )
+        with pytest.raises(JobTimeoutError):
+            chaos_execute(self.job(), 0, 0, chaos)
+
+    def test_corrupt_tampers_named_fields(self):
+        chaos = ChaosConfig(
+            rules=(
+                ChaosRule(
+                    kind="corrupt",
+                    indices=(0,),
+                    attempts=(0,),
+                    fields=("average_latency",),
+                ),
+            )
+        )
+        record = chaos_execute(self.job(), 0, 0, chaos)
+        with pytest.raises(CorruptResultError):
+            validate_record(record)
+
+    def test_crash_exit_code_is_distinctive(self):
+        assert CRASH_EXIT_CODE == 87
+
+
+class TestChaosConvergence:
+    """The headline property: chaos-ridden sweeps converge bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return ParallelExecutor().run_jobs(jobs_for())
+
+    def test_serial_mixed_chaos_converges(self, baseline):
+        chaos = ChaosConfig(
+            rules=(
+                ChaosRule(kind="transient", indices=(0,), attempts=(0,)),
+                ChaosRule(kind="crash", indices=(1,), attempts=(0,)),
+                ChaosRule(
+                    kind="corrupt",
+                    indices=(2,),
+                    attempts=(0,),
+                    fields=("average_latency",),
+                ),
+            )
+        )
+        executor = ParallelExecutor(policy=FAST, chaos=chaos)
+        assert executor.run_jobs(jobs_for()) == baseline
+        stats = executor.last_stats
+        assert stats.retries == 3
+        assert stats.failures == 0
+        assert stats.worker_crashes == 1
+        assert stats.corrupt_results == 1
+
+    def test_pooled_mixed_chaos_converges(self, baseline):
+        chaos = ChaosConfig(
+            rules=(
+                ChaosRule(kind="crash", indices=(0,), attempts=(0,)),
+                ChaosRule(kind="transient", indices=(2,), attempts=(0,)),
+            )
+        )
+        policy = RetryPolicy(
+            backoff_base=0.0,
+            max_retries=3,
+            heartbeat_interval=0.2,
+            heartbeat_timeout=10.0,
+        )
+        executor = ParallelExecutor(workers=2, policy=policy, chaos=chaos)
+        assert executor.run_jobs(jobs_for()) == baseline
+        assert executor.last_stats.failures == 0
+        assert executor.last_stats.retries == 2
+
+    def test_poison_job_quarantined_survivors_identical(self, baseline):
+        chaos = ChaosConfig(
+            rules=(ChaosRule(kind="crash", indices=(1,), attempts=None),)
+        )
+        policy = RetryPolicy(backoff_base=0.0, max_retries=2)
+        executor = ParallelExecutor(policy=policy, chaos=chaos)
+        records = executor.run_jobs(jobs_for())
+        assert records[0] == baseline[0]
+        assert records[2] == baseline[2]
+        assert is_failure_record(records[1])
+        assert records[1]["kind"] == "retries-exhausted"
+
+
+class TestChaosGrid:
+    def test_quick_grid_serial_only(self, capsys):
+        import sys
+
+        exit_code = run_chaos_grid(workers=1, quick=True, stream=sys.stderr)
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "converged" in err
+        assert "MISMATCH" not in err

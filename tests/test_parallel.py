@@ -10,7 +10,11 @@ The contract under test (docs/parallel-execution.md):
 """
 
 import json
+import os
 import random
+import sys
+import types
+from pathlib import Path
 
 import pytest
 
@@ -24,6 +28,7 @@ from repro.harness.parallel import (
     ParallelExecutor,
     ResultCache,
     SimJob,
+    _spawn_supported,
     execute_job,
     job_key,
     resolve_workers,
@@ -113,6 +118,31 @@ class TestResultCache:
         assert cache.lookup(job_key(job)) is None
         assert cache.misses == 1
 
+    def test_corrupt_entry_quarantined_and_counted(self, tmp_path):
+        """Satellite: corrupt entries move to ``<key>.corrupt`` and the
+        slot is rebuilt by the next store instead of missing forever."""
+        cache = ResultCache(tmp_path)
+        job = SimJob.of(small_config())
+        key = job_key(job)
+        cache.path_for(key).write_text("{ not json")
+        assert cache.lookup(key) is None
+        assert cache.corrupt == 1
+        quarantined = tmp_path / f"{key}.corrupt"
+        assert quarantined.exists()
+        assert quarantined.read_text() == "{ not json"  # evidence kept
+        assert "1 corrupt (quarantined)" in cache.summary()
+        # The slot is free again: a store + lookup round-trips.
+        executor = ParallelExecutor(cache=cache)
+        (record,) = executor.run_jobs([job])
+        assert cache.lookup(key) == record
+        assert cache.corrupt == 1  # no further quarantines
+
+    def test_non_object_entry_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("somekey").write_text("[1, 2, 3]")
+        assert cache.lookup("somekey") is None
+        assert cache.corrupt == 1
+
     def test_stale_version_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         job = SimJob.of(small_config())
@@ -120,6 +150,36 @@ class TestResultCache:
             json.dumps({"version": CACHE_VERSION + 1, "record": {}})
         )
         assert cache.lookup(job_key(job)) is None
+        assert cache.corrupt == 0  # stale, not corrupt: no quarantine
+
+    def test_store_tmp_names_unique_per_writer(self, tmp_path):
+        """Satellite: concurrent stores of one key cannot share a tmp
+        file — names embed the pid and a per-process counter."""
+        cache = ResultCache(tmp_path)
+        seen = []
+        original_replace = Path.replace
+
+        def spy_replace(self, target):
+            if self.suffix == ".tmp":
+                seen.append(self.name)
+            return original_replace(self, target)
+
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setattr(Path, "replace", spy_replace)
+            cache.store("samekey", {"a": 1})
+            cache.store("samekey", {"a": 2})
+        assert len(seen) == 2
+        assert seen[0] != seen[1]
+        assert all(name.startswith(f"samekey.{os.getpid()}.") for name in seen)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache.lookup("samekey") == {"a": 2}
+
+    def test_failed_store_leaves_no_tmp_litter(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(TypeError):
+            cache.store("key", {"bad": object()})  # not JSON-serialisable
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache.stores == 0
 
 
 class TestJobKeys:
@@ -179,6 +239,58 @@ class TestProgressAndWorkers:
         assert resolve_workers(0) >= 1
         with pytest.raises(ValueError):
             resolve_workers(-1)
+
+    def test_spawn_supported_under_pytest(self):
+        # pytest's __main__ has an importable spec, so real pools work.
+        assert _spawn_supported() is True
+
+    @pytest.mark.parametrize(
+        "fake_main",
+        [
+            None,  # no __main__ module at all (embedded interpreter)
+            types.ModuleType("__main__"),  # REPL / python -c: no file
+        ],
+    )
+    def test_spawn_unsupported_without_importable_main(
+        self, monkeypatch, fake_main
+    ):
+        if fake_main is None:
+            monkeypatch.delitem(sys.modules, "__main__", raising=False)
+        else:
+            fake_main.__spec__ = None
+            monkeypatch.setitem(sys.modules, "__main__", fake_main)
+        assert _spawn_supported() is False
+
+    def test_spawn_unsupported_main_file_missing(self, monkeypatch, tmp_path):
+        fake_main = types.ModuleType("__main__")
+        fake_main.__spec__ = None
+        fake_main.__file__ = str(tmp_path / "vanished.py")
+        monkeypatch.setitem(sys.modules, "__main__", fake_main)
+        assert _spawn_supported() is False
+
+    def test_unspawnable_parent_falls_back_to_serial(self, monkeypatch):
+        """Satellite: workers=2 from a REPL-like parent silently runs
+        serial and still produces identical records."""
+        serial = ParallelExecutor().run_configs([small_config(seed=1)])
+        fake_main = types.ModuleType("__main__")
+        fake_main.__spec__ = None
+        monkeypatch.setitem(sys.modules, "__main__", fake_main)
+        executor = ParallelExecutor(workers=2)
+        assert executor.run_configs([small_config(seed=1)]) == serial
+        assert executor.simulations_run == 1
+
+    def test_unspawnable_parent_serial_fallback_with_policy(self, monkeypatch):
+        from repro.harness.resilient import RetryPolicy
+
+        serial = ParallelExecutor().run_configs([small_config(seed=1)])
+        fake_main = types.ModuleType("__main__")
+        fake_main.__spec__ = None
+        monkeypatch.setitem(sys.modules, "__main__", fake_main)
+        executor = ParallelExecutor(
+            workers=2, policy=RetryPolicy(backoff_base=0.0)
+        )
+        assert executor.run_configs([small_config(seed=1)]) == serial
+        assert executor.last_stats.simulated == 1
 
     def test_faulty_jobs_run_through_executor(self):
         nodes = [NodeId(x, y) for y in range(3) for x in range(3)]

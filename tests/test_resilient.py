@@ -1,0 +1,465 @@
+"""Tests for the fault-tolerant execution layer (repro.harness.resilient).
+
+The contract under test (docs/resilient-execution.md):
+
+* failure isolation — a job raising ``DrainTimeoutError`` (or any
+  unrecoverable error) is quarantined as a structured ``JobFailure``
+  record; the remaining jobs of the sweep/campaign complete normally;
+* bounded retry — transient failures are retried up to ``max_retries``
+  per job within the sweep-wide ``retry_budget``, with the counters
+  surfaced on ``ExecutionStats``;
+* resume — an interrupted sweep re-invoked with its journal performs
+  zero duplicate simulations (journal + cache hits cover all completed
+  jobs, journaled failures are replayed);
+* interruption safety — ``KeyboardInterrupt`` mid-sweep leaves the
+  cache consistent (no ``.tmp`` litter) and the journal flushed.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.faults.schedule import FaultSchedule
+from repro.harness.campaign import campaign_jobs, run_campaigns
+from repro.harness.chaos import ChaosConfig, ChaosRule
+from repro.harness.parallel import (
+    FAILURE_MARKER,
+    ParallelExecutor,
+    ProgressPrinter,
+    ResultCache,
+    SimJob,
+    is_failure_record,
+)
+from repro.harness.resilient import (
+    CorruptResultError,
+    JobFailure,
+    RetryPolicy,
+    SweepJournal,
+    split_failures,
+    validate_record,
+)
+from repro.harness.sweeps import Sweep
+
+BASE = {
+    "width": 3,
+    "height": 3,
+    "warmup_packets": 10,
+    "measure_packets": 60,
+    "injection_rate": 0.08,
+}
+
+
+def small_config(**overrides) -> SimulationConfig:
+    params = dict(BASE)
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+def small_jobs(seeds=(1, 2, 3)) -> list[SimJob]:
+    return [SimJob.of(small_config(seed=seed)) for seed in seeds]
+
+
+def drain_timeout_config(**overrides) -> SimulationConfig:
+    """Deterministically raises DrainTimeoutError (fault-free network,
+    traffic sparse enough to trip the tiny no-progress window)."""
+    params = {
+        "width": 3,
+        "height": 3,
+        "injection_rate": 0.01,
+        "warmup_packets": 0,
+        "measure_packets": 20,
+        "drain_timeout": 2,
+        "seed": 1,
+    }
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+FAST = RetryPolicy(backoff_base=0.0)
+
+
+class TestFailureIsolation:
+    def test_drain_timeout_quarantined_not_raised(self):
+        jobs = [
+            SimJob.of(small_config(seed=1)),
+            SimJob.of(drain_timeout_config()),
+            SimJob.of(small_config(seed=2)),
+        ]
+        executor = ParallelExecutor(policy=FAST)
+        records = executor.run_jobs(jobs)
+        baseline = ParallelExecutor().run_jobs(
+            [jobs[0], jobs[2]]
+        )
+        assert records[0] == baseline[0]
+        assert records[2] == baseline[1]
+        assert is_failure_record(records[1])
+        ok, failed = split_failures(records)
+        assert len(ok) == 2 and len(failed) == 1
+        failure = failed[0]
+        assert failure.kind == "fatal"
+        assert failure.error_type == "DrainTimeoutError"
+        assert failure.attempts == 1  # fatal errors are never retried
+        stats = executor.last_stats
+        assert stats.failures == 1
+        assert stats.retries == 0
+        assert stats.failures_detail[0].error_type == "DrainTimeoutError"
+
+    def test_drain_timeout_does_not_abort_campaign(self):
+        """The acceptance case: one poisoned job in a multi-job campaign."""
+        schedule = FaultSchedule()
+        jobs = campaign_jobs(small_config(seed=1), [schedule])
+        jobs.insert(1, SimJob.of(drain_timeout_config(), schedule=schedule))
+        jobs.extend(campaign_jobs(small_config(seed=2), [schedule]))
+        report = run_campaigns(jobs, policy=FAST)
+        assert len(report.records) == 3
+        assert len(report.ok_records) == 2
+        assert len(report.failures) == 1
+        assert report.failures[0].error_type == "DrainTimeoutError"
+        assert report.stats.failures == 1
+        summary = "\n".join(report.summary_lines())
+        assert "DrainTimeoutError" in summary
+        assert "2 completed" in summary and "1 failed" in summary
+
+    def test_without_policy_drain_timeout_still_raises(self):
+        from repro.core.simulator import DrainTimeoutError
+
+        with pytest.raises(DrainTimeoutError):
+            ParallelExecutor().run_jobs([SimJob.of(drain_timeout_config())])
+
+
+class TestRetries:
+    def test_transient_failure_retried_to_identical_record(self):
+        jobs = small_jobs()
+        baseline = ParallelExecutor().run_jobs(jobs)
+        chaos = ChaosConfig(
+            rules=(ChaosRule(kind="transient", indices=(1,), attempts=(0,)),)
+        )
+        executor = ParallelExecutor(policy=FAST, chaos=chaos)
+        records = executor.run_jobs(jobs)
+        assert records == baseline
+        assert executor.last_stats.retries == 1
+        assert executor.last_stats.failures == 0
+
+    def test_crash_loop_quarantined_after_max_retries(self):
+        chaos = ChaosConfig(
+            rules=(ChaosRule(kind="crash", indices=(0,), attempts=None),)
+        )
+        policy = RetryPolicy(backoff_base=0.0, max_retries=2)
+        executor = ParallelExecutor(policy=policy, chaos=chaos)
+        (record,) = executor.run_jobs(small_jobs(seeds=(1,)))
+        assert is_failure_record(record)
+        assert record["kind"] == "retries-exhausted"
+        assert record["attempts"] == 3  # initial + 2 retries
+        assert executor.last_stats.worker_crashes == 3
+        assert executor.last_stats.retries == 2
+
+    def test_retry_budget_bounds_sweep_wide_retries(self):
+        chaos = ChaosConfig(
+            rules=(ChaosRule(kind="transient", indices=None, attempts=None),)
+        )
+        policy = RetryPolicy(backoff_base=0.0, max_retries=5, retry_budget=3)
+        executor = ParallelExecutor(policy=policy, chaos=chaos)
+        records = executor.run_jobs(small_jobs())
+        assert all(is_failure_record(r) for r in records)
+        assert executor.last_stats.retries == 3
+        kinds = {r["kind"] for r in records}
+        assert "retry-budget" in kinds
+
+    def test_corrupt_result_detected_and_retried(self):
+        jobs = small_jobs()
+        baseline = ParallelExecutor().run_jobs(jobs)
+        chaos = ChaosConfig(
+            rules=(ChaosRule(kind="corrupt", indices=(0, 2), attempts=(0,)),)
+        )
+        executor = ParallelExecutor(policy=FAST, chaos=chaos)
+        records = executor.run_jobs(jobs)
+        assert records == baseline
+        assert executor.last_stats.corrupt_results == 2
+
+    def test_backoff_schedule_is_exponential(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.4)
+        assert RetryPolicy(backoff_base=0.0).backoff(5) == 0.0
+
+
+class TestValidation:
+    def test_valid_record_passes(self):
+        (record,) = ParallelExecutor().run_jobs(small_jobs(seeds=(1,)))
+        validate_record(record)  # does not raise
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda r: r.pop("router"),
+            lambda r: r.pop("cycles"),
+            lambda r: r.__setitem__("average_latency", -1.0),
+            lambda r: r.__setitem__("throughput", float("nan")),
+            lambda r: r.__setitem__("average_latency", "fast"),
+            lambda r: r.__setitem__("cycles", 0),
+        ],
+    )
+    def test_tampered_record_rejected(self, mutate):
+        (record,) = ParallelExecutor().run_jobs(small_jobs(seeds=(1,)))
+        tampered = dict(record)
+        mutate(tampered)
+        with pytest.raises(CorruptResultError):
+            validate_record(tampered)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(CorruptResultError):
+            validate_record([1, 2, 3])
+
+
+class TestSweepJournal:
+    def test_roundtrip_ok_and_failure(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(path)
+        journal.record_ok("aaa")
+        journal.record_failure(
+            "bbb",
+            JobFailure(
+                index=1,
+                kind="fatal",
+                error_type="DrainTimeoutError",
+                message="no progress",
+                attempts=1,
+            ),
+        )
+        journal.close()
+        resumed = SweepJournal(path, resume=True)
+        assert resumed.completed_keys == {"aaa"}
+        assert resumed.failed_keys == {"bbb"}
+        failure = resumed.failure_for("bbb", index=7)
+        assert failure.index == 7  # replayed at the current run's slot
+        assert failure.error_type == "DrainTimeoutError"
+        assert failure.key == "bbb"
+
+    def test_ok_supersedes_earlier_failure(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(path)
+        journal.record_failure(
+            "k",
+            JobFailure(
+                index=0, kind="retries-exhausted", error_type="X",
+                message="m", attempts=3,
+            ),
+        )
+        journal.record_ok("k")
+        journal.close()
+        resumed = SweepJournal(path, resume=True)
+        assert resumed.completed_keys == {"k"}
+        assert resumed.failed_keys == set()
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(path)
+        journal.record_ok("aaa")
+        journal.close()
+        with path.open("a") as handle:
+            handle.write('{"event": "ok", "key": "bb')  # killed mid-write
+        resumed = SweepJournal(path, resume=True)
+        assert resumed.completed_keys == {"aaa"}
+
+    def test_fresh_open_truncates(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(path)
+        journal.record_ok("aaa")
+        journal.close()
+        fresh = SweepJournal(path, resume=False)
+        fresh.close()
+        assert SweepJournal(path, resume=True).completed_keys == set()
+
+
+class TestResume:
+    def test_interrupted_sweep_resumes_with_zero_duplicates(self, tmp_path):
+        """The acceptance case: interrupt mid-run, resume, count sims."""
+        sweep = Sweep(
+            axes={"injection_rate": [0.05, 0.08], "seed": [1, 2]}, base=BASE
+        )
+        cache = ResultCache(tmp_path / "cache")
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        interrupted = ParallelExecutor(
+            cache=cache, journal=journal, policy=FAST
+        )
+
+        bomb = {"after": 2}
+
+        def interrupting_progress(done, total, record):
+            if done >= bomb["after"]:
+                raise KeyboardInterrupt
+
+        interrupted.progress = interrupting_progress
+        with pytest.raises(KeyboardInterrupt):
+            sweep.run(executor=interrupted)
+        journal.close()
+        assert interrupted.simulations_run == 2
+        assert len(journal.completed_keys) == 2
+
+        resumed_journal = SweepJournal(tmp_path / "journal.jsonl", resume=True)
+        resumed = ParallelExecutor(
+            cache=ResultCache(tmp_path / "cache"),
+            journal=resumed_journal,
+            policy=FAST,
+        )
+        records = sweep.run(executor=resumed)
+        # Zero duplicate simulations: only the two jobs the interrupt
+        # cancelled are simulated, the completed ones come from the
+        # journal + cache.
+        assert resumed.simulations_run == 2
+        assert resumed.last_stats.resumed == 2
+        assert resumed.last_stats.cache_hits == 2
+        assert records == Sweep(axes=sweep.axes, base=BASE).run()
+
+    def test_journaled_failure_replayed_without_rerun(self, tmp_path):
+        jobs = [
+            SimJob.of(small_config(seed=1)),
+            SimJob.of(drain_timeout_config()),
+        ]
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        cache = ResultCache(tmp_path / "cache")
+        first = ParallelExecutor(cache=cache, journal=journal, policy=FAST)
+        first_records = first.run_jobs(jobs)
+        journal.close()
+        assert first.simulations_run == 1  # failed job produced no record
+
+        resumed_journal = SweepJournal(tmp_path / "journal.jsonl", resume=True)
+        resumed = ParallelExecutor(
+            cache=ResultCache(tmp_path / "cache"),
+            journal=resumed_journal,
+            policy=FAST,
+        )
+        records = resumed.run_jobs(jobs)
+        assert resumed.simulations_run == 0  # poison job NOT re-run
+        assert resumed.last_stats.resumed == 2
+        assert is_failure_record(records[1])
+        assert records[0] == first_records[0]
+        assert records[1]["error_type"] == first_records[1]["error_type"]
+
+    def test_retry_failed_on_resume_reruns_quarantined_jobs(self, tmp_path):
+        jobs = [SimJob.of(drain_timeout_config())]
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        first = ParallelExecutor(journal=journal, policy=FAST)
+        first.run_jobs(jobs)
+        journal.close()
+
+        policy = RetryPolicy(backoff_base=0.0, retry_failed_on_resume=True)
+        resumed = ParallelExecutor(
+            journal=SweepJournal(tmp_path / "journal.jsonl", resume=True),
+            policy=policy,
+        )
+        records = resumed.run_jobs(jobs)
+        assert resumed.simulations_run == 0  # it failed again, no record
+        assert is_failure_record(records[0])
+        assert resumed.last_stats.resumed == 0  # genuinely re-attempted
+
+
+class TestInterruptConsistency:
+    def test_keyboard_interrupt_leaves_cache_consistent(self, tmp_path):
+        """Satellite: no ``.tmp`` litter, journal flushed, stats set."""
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        executor = ParallelExecutor(cache=cache, journal=journal, policy=FAST)
+
+        def interrupt_late(done, total, record):
+            if done >= 2:
+                raise KeyboardInterrupt
+
+        executor.progress = interrupt_late
+        with pytest.raises(KeyboardInterrupt):
+            executor.run_jobs(small_jobs())
+        assert list(cache_dir.glob("*.tmp")) == []
+        assert len(list(cache_dir.glob("*.json"))) == 2
+        # The journal was flushed before the exception escaped: re-read
+        # it from disk, bypassing the in-memory state.
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "journal.jsonl").read_text().splitlines()
+        ]
+        assert len(lines) == 2
+        assert all(entry["event"] == "ok" for entry in lines)
+        assert executor.last_stats.simulated == 2
+
+
+class TestProgressReporting:
+    def test_progress_printer_reports_retries_and_failures(self, capsys):
+        import sys
+
+        chaos = ChaosConfig(
+            rules=(
+                ChaosRule(kind="transient", indices=(0,), attempts=(0,)),
+                ChaosRule(kind="crash", indices=(2,), attempts=None),
+            )
+        )
+        policy = RetryPolicy(backoff_base=0.0, max_retries=1)
+        printer = ProgressPrinter(stream=sys.stderr)
+        executor = ParallelExecutor(
+            policy=policy, chaos=chaos, progress=printer
+        )
+        executor.run_jobs(small_jobs())
+        err = capsys.readouterr().err
+        assert "retry job 0" in err
+        assert "failed 1" in err
+        assert "finished: 2 ok, 1 failed, 2 retried" in err
+        assert printer.retries == 2 and printer.failed == 1
+
+    def test_failure_records_reach_progress_callback(self):
+        seen = []
+        chaos = ChaosConfig(
+            rules=(ChaosRule(kind="crash", indices=(0,), attempts=None),)
+        )
+        executor = ParallelExecutor(
+            policy=RetryPolicy(backoff_base=0.0, max_retries=0),
+            chaos=chaos,
+            progress=lambda done, total, record: seen.append(
+                record.get(FAILURE_MARKER, False)
+            ),
+        )
+        executor.run_jobs(small_jobs(seeds=(1, 2)))
+        assert sorted(seen) == [False, True]
+
+
+class TestPooledSupervision:
+    """Real process-pool paths: crash recovery and deadline kills."""
+
+    def test_pooled_worker_crash_recovered(self):
+        jobs = small_jobs()
+        baseline = ParallelExecutor().run_jobs(jobs)
+        chaos = ChaosConfig(
+            rules=(ChaosRule(kind="crash", indices=(1,), attempts=(0,)),)
+        )
+        policy = RetryPolicy(backoff_base=0.0, max_retries=2)
+        executor = ParallelExecutor(workers=2, policy=policy, chaos=chaos)
+        records = executor.run_jobs(jobs)
+        assert records == baseline
+        assert executor.last_stats.worker_crashes == 1
+        assert executor.last_stats.retries == 1
+        assert executor.last_stats.failures == 0
+
+    def test_pooled_hang_killed_by_deadline(self):
+        jobs = small_jobs()
+        baseline = ParallelExecutor().run_jobs(jobs)
+        chaos = ChaosConfig(
+            rules=(
+                ChaosRule(
+                    kind="hang", indices=(0,), attempts=(0,), seconds=30.0
+                ),
+            )
+        )
+        policy = RetryPolicy(
+            job_timeout=1.5, backoff_base=0.0, max_retries=2
+        )
+        executor = ParallelExecutor(workers=2, policy=policy, chaos=chaos)
+        records = executor.run_jobs(jobs)
+        assert records == baseline
+        assert executor.last_stats.timeouts == 1
+        assert executor.last_stats.failures == 0
+
+    def test_pooled_without_policy_unchanged(self):
+        jobs = small_jobs()
+        assert ParallelExecutor(workers=2).run_jobs(
+            jobs
+        ) == ParallelExecutor().run_jobs(jobs)
