@@ -4,6 +4,11 @@ The paper evaluates one network size (8x8).  This extension sweeps mesh
 sizes at a fixed per-node load and checks that RoCo's latency advantage
 over the generic router holds as the network grows (its mechanisms are
 per-router, so the per-hop saving should compound with diameter).
+
+Sizes from 16x16 up run through the sharded tile engine
+(docs/sharded-scaling.md) — bit-identical to single-process execution,
+so the curve is one continuous experiment; the artifact additionally
+records per-tile activity-scheduler counters for the sharded cells.
 """
 
 from conftest import once
@@ -14,16 +19,20 @@ from repro.harness import report
 from repro.harness.benchbed import Outcome, benchmark
 
 SIZES = (4, 6, 8, 10)
+#: Large meshes simulated by the sharded tile engine, and their tilings.
+SHARDED_SIZES = (16, 32, 64)
+TILINGS = {16: (2, 2), 32: (4, 4), 64: (4, 4)}
 RATE = 0.15
 
 
-def latency(
+def scaling_point(
     router: str,
     k: int,
     sim=run_simulation,
     warmup: int = 120,
     measure: int = 700,
-) -> float:
+    shards=None,
+):
     config = SimulationConfig(
         width=k,
         height=k,
@@ -35,8 +44,19 @@ def latency(
         measure_packets=measure,
         seed=7,
         max_cycles=40_000,
+        shards=shards,
     )
-    return sim(config).average_latency
+    return sim(config)
+
+
+def latency(
+    router: str,
+    k: int,
+    sim=run_simulation,
+    warmup: int = 120,
+    measure: int = 700,
+) -> float:
+    return scaling_point(router, k, sim, warmup, measure).average_latency
 
 
 @benchmark(
@@ -54,7 +74,44 @@ def bench(ctx):
         for router in ("generic", "roco")
     }
     ratio = dict(curves["roco"])[8] / dict(curves["generic"])[8]
-    return Outcome(ratio, details={"curves": curves})
+    # Sharded extension of the curve: each large-mesh point runs across
+    # tile worker processes; results are bit-identical to the reference
+    # engine, so these extend the same curves.
+    sharded_sizes = ctx.pick(quick=(16, 32), full=SHARDED_SIZES)
+    sharded_budget = ctx.pick(quick={16: (60, 250), 32: (40, 160)},
+                              full={16: (120, 700), 32: (120, 700),
+                                    64: (120, 700)})
+    sharded_curves: dict[str, list] = {"generic": [], "roco": []}
+    tile_scheduler: dict[str, dict] = {}
+    for k in sharded_sizes:
+        s_warmup, s_measure = sharded_budget[k]
+        per_router: dict[str, list] = {}
+        for router in ("generic", "roco"):
+            result = scaling_point(
+                router, k, ctx.run, s_warmup, s_measure, shards=TILINGS[k]
+            )
+            sharded_curves[router].append((k, result.average_latency))
+            per_router[router] = [
+                {
+                    "router_steps": c.router_steps,
+                    "router_slots": c.router_slots,
+                    "wakeups": c.wakeups,
+                    "sleeps": c.sleeps,
+                }
+                for c in result.tile_scheduler
+            ]
+        tile_scheduler[f"{k}x{k}"] = per_router
+    return Outcome(
+        ratio,
+        details={
+            "curves": curves,
+            "sharded_curves": sharded_curves,
+            "tilings": {
+                f"{k}x{k}": list(TILINGS[k]) for k in sharded_sizes
+            },
+            "tile_scheduler": tile_scheduler,
+        },
+    )
 
 
 def test_extension_mesh_scaling(benchmark):

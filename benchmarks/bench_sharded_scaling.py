@@ -1,0 +1,126 @@
+"""Sharded tile engine: equivalence cells and tile-parallel throughput.
+
+Runs matched pairs — the single-process reference vs the sharded tile
+engine (worker processes, docs/sharded-scaling.md) on identical
+configs — and asserts record-level bit-identity on every cell.  The
+registered *headline* is the deterministic equivalent-cell count (the
+regression gate needs a noise-free metric); wall-clock and simulated
+cycles/sec per cell ride in the artifact's details, informational only:
+at benchmark packet counts the per-cycle pipe round-trips dominate, so
+sharding pays off in mesh capacity (64x64 runs that a single process
+cannot hold comfortably), not in small-mesh speed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import once
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import Simulator
+from repro.harness.benchbed import Outcome, Threshold, benchmark
+from repro.harness.sharded import compare_records, run_sharded_simulation
+
+#: (label, k, shards, router, full_sweep).
+CELLS = (
+    ("8x8-2x2-roco", 8, (2, 2), "roco", False),
+    ("8x8-2x2-generic", 8, (2, 2), "generic", False),
+    ("8x8-1x2-roco-sweep", 8, (1, 2), "roco", True),
+    ("16x16-2x2-roco", 16, (2, 2), "roco", False),
+    ("16x16-2x2-generic", 16, (2, 2), "generic", False),
+    ("32x32-4x4-roco", 32, (4, 4), "roco", False),
+)
+
+
+def cell_config(
+    k: int, router: str, warmup: int, measure: int
+) -> SimulationConfig:
+    return SimulationConfig(
+        width=k,
+        height=k,
+        router=router,
+        routing="xy",
+        traffic="uniform",
+        injection_rate=0.15,
+        warmup_packets=warmup,
+        measure_packets=measure,
+        seed=7,
+        max_cycles=40_000,
+    )
+
+
+def measure(cells=CELLS, warmup: int = 40, measure_pkts: int = 160, absorb=None):
+    rows = []
+    for label, k, shards, router, full_sweep in cells:
+        config = cell_config(k, router, warmup, measure_pkts)
+        t0 = time.monotonic()
+        reference = Simulator(config, full_sweep=full_sweep).run()
+        t1 = time.monotonic()
+        sharded = run_sharded_simulation(
+            config, shards, full_sweep=full_sweep
+        )
+        t2 = time.monotonic()
+        if absorb is not None:
+            absorb(reference)
+            absorb(sharded)
+        mismatches = compare_records(reference, sharded)
+        rows.append(
+            {
+                "cell": label,
+                "match": not mismatches,
+                "mismatches": mismatches,
+                "cycles": reference.cycles,
+                "tiles": len(sharded.tile_scheduler),
+                "reference_s": t1 - t0,
+                "sharded_s": t2 - t1,
+                "reference_cps": reference.cycles / max(t1 - t0, 1e-9),
+                "sharded_cps": sharded.cycles / max(t2 - t1, 1e-9),
+            }
+        )
+    return rows
+
+
+def render_rows(rows) -> str:
+    lines = [
+        f"{'cell':>20} {'match':>5} {'cycles':>7} {'tiles':>5} "
+        f"{'reference':>10} {'sharded':>10}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['cell']:>20} {'yes' if row['match'] else 'NO':>5} "
+            f"{row['cycles']:>7} {row['tiles']:>5} "
+            f"{row['reference_s']:>9.2f}s {row['sharded_s']:>9.2f}s"
+        )
+    return "\n".join(lines)
+
+
+@benchmark(
+    "sharded_scaling",
+    headline="equivalent_cells",
+    unit="cells",
+    direction="higher",
+)
+def bench(ctx):
+    """Cells where the sharded run is bit-identical to the reference."""
+    cells = ctx.pick(quick=CELLS[:4], full=CELLS)
+    warmup, measure_pkts = ctx.pick(quick=(40, 160), full=(80, 400))
+    rows = measure(cells, warmup, measure_pkts, absorb=ctx.absorb)
+    table = render_rows(rows)
+    equivalent = sum(row["match"] for row in rows)
+    Threshold("sharded_equivalent_cells", floor=float(len(rows))).check(
+        float(equivalent), context=table
+    )
+    return Outcome(
+        float(equivalent),
+        floor=float(len(rows)),
+        details={"rows": rows},
+    )
+
+
+def test_sharded_equivalence_cells(benchmark):
+    rows = once(benchmark, measure)
+    print()
+    print(render_rows(rows))
+    for row in rows:
+        assert row["match"], (row["cell"], row["mismatches"])

@@ -93,6 +93,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--warmup", type=int, default=300)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
+        "--shards",
+        default=None,
+        metavar="WxH",
+        help=(
+            "partition the mesh into WxH tile worker processes "
+            "(bit-identical; see docs/sharded-scaling.md)"
+        ),
+    )
+    parser.add_argument(
         "--faults", type=int, default=0, help="number of random permanent faults"
     )
     parser.add_argument(
@@ -272,6 +281,7 @@ def _run_single(args) -> int:
         warmup_packets=args.warmup,
         measure_packets=args.packets,
         seed=args.seed,
+        shards=args.shards,
     )
     campaign = None
     if schedule is not None:
@@ -366,6 +376,7 @@ def _run_sweep(args) -> int:
             "traffic": args.traffic,
             "warmup_packets": args.warmup,
             "measure_packets": args.packets,
+            **({"shards": args.shards} if args.shards else {}),
         },
         schedule=schedule,
     )
@@ -429,6 +440,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.harness.benchbed import bench_main
 
         return bench_main(argv[1:])
+    if argv[:1] == ["shards"]:
+        # Sharded execution subcommand: tile-process runs and the
+        # sharded-vs-reference equivalence grid (docs/sharded-scaling.md).
+        from repro.harness.sharded import sharded_main
+
+        return sharded_main(argv[1:])
     if argv[:1] == ["chaos"]:
         # Chaos subcommand: differential fault-injection grid for the
         # resilient execution layer (docs/resilient-execution.md).

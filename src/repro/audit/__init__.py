@@ -19,6 +19,7 @@ from repro.audit.invariants import (
     WormOrderChecker,
     default_checkers,
 )
+from repro.audit.sharded import BoundaryLedger, ShardInvariantViolation
 from repro.audit.shrink import (
     ShrinkResult,
     audit_failure,
@@ -29,7 +30,9 @@ from repro.audit.shrink import (
 
 __all__ = [
     "AuditEngine",
+    "BoundaryLedger",
     "NetworkSnapshot",
+    "ShardInvariantViolation",
     "InvariantChecker",
     "InvariantViolation",
     "FlitConservationChecker",

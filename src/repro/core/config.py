@@ -14,6 +14,33 @@ from dataclasses import dataclass, field
 from repro.core.types import RoutingMode
 
 
+def parse_shards(value) -> tuple[int, int]:
+    """Normalise a shard spec (``"2x2"``, ``(2, 2)``, ``[1, 2]``).
+
+    Returns the ``(tiles_x, tiles_y)`` tuple; geometric feasibility
+    (divisibility, minimum tile extents) is checked by the shard planner
+    at run time, where the mesh dimensions are known to matter.
+    """
+    if isinstance(value, str):
+        parts = value.lower().split("x")
+        if len(parts) != 2:
+            raise ValueError(f"shards spec {value!r} is not of the form 'WxH'")
+        try:
+            value = (int(parts[0]), int(parts[1]))
+        except ValueError:
+            raise ValueError(
+                f"shards spec {value!r} is not of the form 'WxH'"
+            ) from None
+    try:
+        tiles_x, tiles_y = value
+        tiles_x, tiles_y = int(tiles_x), int(tiles_y)
+    except (TypeError, ValueError):
+        raise ValueError(f"shards spec {value!r} is not a (tiles_x, tiles_y) pair")
+    if tiles_x < 1 or tiles_y < 1:
+        raise ValueError(f"shards {tiles_x}x{tiles_y}: tile counts must be >= 1")
+    return (tiles_x, tiles_y)
+
+
 @dataclass
 class RouterConfig:
     """Static structural parameters of one router instance.
@@ -97,6 +124,12 @@ class SimulationConfig:
     #: raising ``BackendUnsupportedError`` outside it (see
     #: docs/vectorized-core.md).
     backend: str = "object"
+    #: Tile the mesh into ``(tiles_x, tiles_y)`` rectangles, each
+    #: simulated by its own worker process exchanging boundary flits and
+    #: credits once per cycle (repro.harness.sharded); bit-identical to
+    #: the single-process reference on its envelope.  Accepts a tuple or
+    #: a ``"2x2"`` string; None (default) and ``(1, 1)`` run in-process.
+    shards: tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
         if self.router_config is None:
@@ -117,6 +150,8 @@ class SimulationConfig:
             raise ValueError("warmup_packets must be >= 0")
         if self.backend not in ("object", "soa"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.shards is not None:
+            self.shards = parse_shards(self.shards)
         if self.topology not in ("mesh", "torus"):
             raise ValueError(f"unknown topology {self.topology!r}")
         if self.topology == "torus":

@@ -50,10 +50,7 @@ class Network:
         self.full_sweep = full_sweep
         self.stats.scheduler.full_sweep = full_sweep
         self.routers: dict[NodeId, "BaseRouter"] = {}
-        for y in range(config.height):
-            for x in range(config.width):
-                node = NodeId(x, y)
-                self.routers[node] = make_router(config.router, node, self)
+        self._build_routers(make_router)
         self._router_list = list(self.routers.values())
         #: Timed wakes: cycle -> routers that must rejoin the active set
         #: at that cycle (a flit launched towards them lands then).
@@ -70,6 +67,18 @@ class Network:
         self.on_cycle_stepped = None
         #: Lazily-built routing-aware reachability map (cold paths only).
         self._reachability = None
+
+    def _build_routers(self, make_router) -> None:
+        """Instantiate the router grid in row-major order.
+
+        Overridden by the sharded tile engine (repro.core.shard), which
+        builds only its rectangle plus a one-deep ghost halo.
+        """
+        config = self.config
+        for y in range(config.height):
+            for x in range(config.width):
+                node = NodeId(x, y)
+                self.routers[node] = make_router(config.router, node, self)
 
     # ------------------------------------------------------------------
     # Topology

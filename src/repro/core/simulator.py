@@ -191,6 +191,10 @@ class SimulationResult:
     total_delivered: int = 0
     total_dropped: int = 0
     drops_by_reason: dict = field(default_factory=dict)
+    #: Sharded runs only (repro.harness.sharded): one SchedulerCounters
+    #: per tile, in tile row-major order.  Empty for single-process
+    #: runs; like ``scheduler``, excluded from the exported record.
+    tile_scheduler: list = field(default_factory=list)
 
     @property
     def conserved(self) -> bool:
@@ -600,6 +604,16 @@ def run_simulation(
     bit-identical on its supported envelope and raises
     ``BackendUnsupportedError`` outside it (see docs/vectorized-core.md).
     """
+    if config.shards is not None and config.shards != (1, 1):
+        from repro.harness.sharded import run_sharded_simulation
+
+        return run_sharded_simulation(
+            config,
+            traffic=traffic,
+            faults=faults,
+            schedule=schedule,
+            full_sweep=full_sweep,
+        )
     if config.backend != "object":
         from repro.core.soa.engine import run_soa_simulation
 

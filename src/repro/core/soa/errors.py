@@ -44,6 +44,11 @@ def ensure_supported(config, faults=None, schedule=None) -> None:
         )
     if config.topology != "mesh":
         raise BackendUnsupportedError(f"topology={config.topology!r}")
+    if getattr(config, "shards", None) not in (None, (1, 1)):
+        raise BackendUnsupportedError(
+            f"shards={config.shards!r}",
+            "tile workers run the object engine (see docs/sharded-scaling.md)",
+        )
     if config.audit:
         raise BackendUnsupportedError(
             "audit=True",

@@ -125,6 +125,12 @@ def config_payload(config: SimulationConfig) -> dict:
         # the default omission keeps pre-existing object-backend keys
         # (and their on-disk caches) stable.
         payload["backend"] = config.backend
+    if getattr(config, "shards", None) is not None:
+        # Same reasoning as backend: sharded runs are bit-identical to
+        # the reference, but an equivalence regression must not hide
+        # behind a cache hit on the unsharded record.  Unsharded keys
+        # stay byte-identical to prior versions.
+        payload["shards"] = list(config.shards)
     return payload
 
 

@@ -1,0 +1,944 @@
+"""Sharded mesh execution: cooperating tile processes, one per rectangle.
+
+The mesh is partitioned by a :class:`ShardPlan` into rectangular tiles,
+each stepped by a :class:`~repro.core.shard.TileSimulator` in its own
+spawn-context worker process.  A coordinator drives every tile through
+the two halves of the cycle in lockstep and routes all cross-tile state
+between them (see docs/sharded-scaling.md for the full protocol):
+
+1. ``front(t)`` on all tiles in parallel — generation, injection, link
+   delivery, switch traversal.  Flits launched onto boundary links have
+   a 2-cycle lookahead (``LINK_DELAY``) before any receiver can observe
+   them, so harvesting them once per cycle is always conservative.
+2. ``alloc(t)`` in *anti-diagonal wave order* over the tile grid.  VC
+   allocation arbitrates cross-tile (upstream routers claim VCs on the
+   neighbouring tile's boundary routers), and the reference resolves
+   same-cycle claim races in global row-major router order — which,
+   restricted to the pairs that can actually race across a cut, is
+   exactly "west tile before east tile, north tile before south tile".
+   Each tile's alloc grant carries every delta routed to it so far, so
+   a successor tile allocates against the same owner/credit state the
+   reference would have shown it.
+
+Because both halves replay the reference phases verbatim and all
+cross-tile visibility matches the reference's intra-cycle ordering, a
+sharded run is **bit-identical** to the single-process run — asserted
+cell-by-cell by ``python -m repro shards --grid`` and
+tests/test_sharded.py.
+
+Traffic is generated from a central *oracle* (:func:`build_generation_schedule`)
+that replays the reference simulator's exact rng-draw order once up
+front, then hands each tile its own sources' creation schedule — tiles
+never touch an rng, so partitioning cannot perturb the stream.
+
+Worker supervision follows repro.harness.resilient: crashes, hangs and
+worker exceptions surface as a structured
+:class:`~repro.harness.resilient.JobFailure` (wrapped in
+:class:`ShardedExecutionError`) naming the tile, instead of deadlocking
+the coordinator.  Cycle-lockstep tiles cannot be retried mid-protocol
+(their state is minted by every previous cycle), so quarantine is
+whole-run: callers' retry policies see a fatal, deterministic error.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+import traceback
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.core.config import SimulationConfig, parse_shards
+from repro.core.shard import TileRect, TileSimulator
+from repro.core.simulator import (
+    DrainTimeoutError,
+    SimulationResult,
+    Simulator,
+    StrandedCensus,
+)
+from repro.core.soa.errors import BackendUnsupportedError
+from repro.core.statistics import (
+    ActivityCounters,
+    SchedulerCounters,
+    StatsCollector,
+)
+from repro.core.types import DropReason, NodeId, RoutingMode
+from repro.energy.model import EnergyModel
+from repro.metrics.latency import LatencySummary
+from repro.routing.xyyx import choose_variant
+from repro.traffic import make_traffic
+
+#: Router architectures the tile engine supports (the same pair the
+#: paper's comparison — and the SoA backend — covers).
+SHARD_ROUTERS = ("roco", "generic")
+
+#: Default seconds the coordinator waits for a tile's phase reply
+#: before declaring the worker hung.
+DEFAULT_TILE_TIMEOUT = 120.0
+
+
+class ShardUnsupportedError(BackendUnsupportedError):
+    """A configuration outside the sharded-execution envelope.
+
+    Subclasses :class:`BackendUnsupportedError` so the resilient
+    executor's fatal-vs-transient taxonomy (and any caller already
+    catching envelope rejections) treats it identically; only the
+    message differs.
+    """
+
+    def __init__(self, feature: str, detail: str = "") -> None:
+        message = f"sharded execution does not support {feature}"
+        if detail:
+            message += f" ({detail})"
+        message += "; run with shards=None"
+        RuntimeError.__init__(self, message)
+        self.feature = feature
+
+
+class ShardedExecutionError(RuntimeError):
+    """A tile worker died or wedged; carries the structured failure."""
+
+    def __init__(self, failure) -> None:
+        super().__init__(
+            f"tile {failure.index} failed ({failure.error_type}): "
+            f"{failure.message}"
+        )
+        self.failure = failure
+
+
+def ensure_sharded_supported(config, traffic=None, faults=None, schedule=None):
+    """Raise :class:`ShardUnsupportedError` outside the envelope.
+
+    The envelope is: RoCo/generic routers on a fault-free mesh, any
+    routing mode and *named* traffic pattern, both schedulers, the
+    object backend.  Faults are rejected because fault propagation
+    (handshake repair, purges, reachability) is global and non-local to
+    a tile; explicit traffic instances because the generation oracle
+    must be able to rebuild the pattern deterministically per tile.
+    """
+    if config.router not in SHARD_ROUTERS:
+        raise ShardUnsupportedError(
+            f"router={config.router!r}", "only roco and generic are tiled"
+        )
+    if config.topology != "mesh":
+        raise ShardUnsupportedError(f"topology={config.topology!r}")
+    if config.backend != "object":
+        raise ShardUnsupportedError(
+            f"backend={config.backend!r}",
+            "tile workers run the object engine",
+        )
+    if traffic is not None:
+        raise ShardUnsupportedError(
+            "explicit traffic instances",
+            "pass a named pattern via config.traffic so the generation "
+            "oracle can replay it",
+        )
+    if faults:
+        raise ShardUnsupportedError(
+            "static fault injection", f"{len(list(faults))} fault(s) requested"
+        )
+    if schedule is not None and getattr(schedule, "events", ()):
+        raise ShardUnsupportedError(
+            "runtime fault schedules",
+            f"{len(schedule.events)} event(s) scheduled",
+        )
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+
+
+def _split_extent(extent: int, parts: int) -> list[tuple[int, int]]:
+    """Contiguous balanced chunks of ``range(extent)`` as (start, stop)."""
+    base, remainder = divmod(extent, parts)
+    spans = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < remainder else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The tile decomposition of one mesh: rectangles plus wave order."""
+
+    tiles_x: int
+    tiles_y: int
+    rects: tuple[TileRect, ...]
+    #: Anti-diagonal waves of tile indices: every tile's west and north
+    #: neighbours complete their allocate phase in an earlier wave.
+    waves: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def plan(cls, config: SimulationConfig, shards) -> "ShardPlan":
+        tiles_x, tiles_y = parse_shards(shards)
+        x_spans = _split_extent(config.width, tiles_x)
+        y_spans = _split_extent(config.height, tiles_y)
+        if tiles_x > 1 and min(x1 - x0 for x0, x1 in x_spans) < 2:
+            raise ShardUnsupportedError(
+                f"shards={tiles_x}x{tiles_y} on a {config.width}x"
+                f"{config.height} mesh",
+                "each tile must be at least 2 columns wide when the X axis "
+                "is split (boundary VCs admit both east and west inputs and "
+                "can only be mirrored on one neighbouring tile)",
+            )
+        if tiles_y > 1 and min(y1 - y0 for y0, y1 in y_spans) < 2:
+            raise ShardUnsupportedError(
+                f"shards={tiles_x}x{tiles_y} on a {config.width}x"
+                f"{config.height} mesh",
+                "each tile must be at least 2 rows tall when the Y axis is "
+                "split",
+            )
+        rects = tuple(
+            TileRect(x0, y0, x1, y1)
+            for y0, y1 in y_spans
+            for x0, x1 in x_spans
+        )
+        waves: dict[int, list[int]] = {}
+        for ty in range(tiles_y):
+            for tx in range(tiles_x):
+                waves.setdefault(tx + ty, []).append(ty * tiles_x + tx)
+        ordered = tuple(
+            tuple(waves[key]) for key in sorted(waves)
+        )
+        return cls(tiles_x=tiles_x, tiles_y=tiles_y, rects=rects, waves=ordered)
+
+    @property
+    def num_tiles(self) -> int:
+        return self.tiles_x * self.tiles_y
+
+    def tile_of(self, x: int, y: int) -> int:
+        for index, rect in enumerate(self.rects):
+            if rect.x0 <= x < rect.x1 and rect.y0 <= y < rect.y1:
+                return index
+        raise ValueError(f"({x}, {y}) outside every tile")
+
+
+# ----------------------------------------------------------------------
+# Traffic oracle
+# ----------------------------------------------------------------------
+
+
+def build_generation_schedule(config: SimulationConfig):
+    """Replay the reference generator's rng-draw order centrally.
+
+    Returns ``(entries, measure_start_cycle)`` where each entry is
+    ``(cycle, src_x, src_y, pid, dest_x, dest_y, yx_first, measured)``
+    in global creation (pid) order.  The draw order per packet —
+    arrivals, destination, then the XY-YX variant coin — and the
+    measurement flip (the ``warmup_packets``-th creation, itself
+    measured) are byte-for-byte the reference's
+    ``Simulator._generate`` / ``_create_packet`` path.
+    """
+    rng = random.Random(config.seed)
+    nodes = [
+        NodeId(x, y)
+        for y in range(config.height)
+        for x in range(config.width)
+    ]
+    traffic = make_traffic(config.traffic)
+    traffic.bind(config, rng, nodes)
+    arrivals = traffic.arrivals
+    destination = traffic.destination
+    use_yx = config.routing is RoutingMode.XY_YX
+    total = config.total_packets
+    warmup = config.warmup_packets
+    entries: list[tuple] = []
+    measure_start: int | None = None
+
+    def generate(cycle: int) -> None:
+        nonlocal measure_start
+        for node in nodes:
+            if len(entries) >= total:
+                return
+            for _ in range(arrivals(node, cycle)):
+                dest = destination(node)
+                if len(entries) == warmup:
+                    measure_start = cycle
+                measured = measure_start is not None
+                yx_first = (
+                    choose_variant(node, dest, rng, None) if use_yx else False
+                )
+                entries.append(
+                    (cycle, node.x, node.y, len(entries), dest.x, dest.y,
+                     yx_first, measured)
+                )
+                if len(entries) >= total:
+                    return
+
+    for cycle in range(config.max_cycles):
+        if len(entries) >= total:
+            break
+        generate(cycle)
+    return entries, measure_start
+
+
+# ----------------------------------------------------------------------
+# Tile drivers: in-process and worker-process
+# ----------------------------------------------------------------------
+
+
+def _tile_worker(conn, payload) -> None:
+    """Worker-process main loop: one message, one phase."""
+    try:
+        sim = TileSimulator(
+            payload["config"],
+            payload["rects"],
+            payload["tile"],
+            payload["schedule"],
+            payload["measure_start"],
+            full_sweep=payload["full_sweep"],
+        )
+        audit = payload["audit"]
+        kill_cycle = payload.get("kill_cycle")
+        slow_seconds = payload.get("slow_seconds")
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "front":
+                cycle = message[1]
+                if kill_cycle is not None and cycle >= kill_cycle:
+                    os._exit(87)
+                if slow_seconds:
+                    time.sleep(slow_seconds)
+                conn.send(("front_done", cycle, sim.front(cycle)))
+            elif kind == "alloc":
+                _, cycle, inbox = message
+                delta, commit = sim.alloc(cycle, inbox)
+                audit_payload = sim.audit_payload(cycle) if audit else None
+                conn.send(("alloc_done", cycle, delta, commit, audit_payload))
+            elif kind == "census":
+                conn.send(("census_done", sim.survivors(message[1])))
+            elif kind == "finish":
+                conn.send(("final", sim.finish(message[1])))
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol future-proofing
+                raise RuntimeError(f"unknown coordinator message {kind!r}")
+    except BaseException as exc:  # noqa: BLE001 - report, then die
+        try:
+            conn.send(
+                ("error", type(exc).__name__, str(exc), traceback.format_exc())
+            )
+        except Exception:  # pragma: no cover - coordinator already gone
+            pass
+
+
+class _InlineTile:
+    """Drives a TileSimulator in-process (debugging / fast tests).
+
+    Protocol-identical to :class:`_ProcessTile` — the same payloads and
+    replies — minus the pipes, so equivalence tests can cover the
+    protocol densely without paying process spawn per cell.
+    """
+
+    def __init__(self, index: int, payload: dict) -> None:
+        self.index = index
+        self.sim = TileSimulator(
+            payload["config"],
+            payload["rects"],
+            payload["tile"],
+            payload["schedule"],
+            payload["measure_start"],
+            full_sweep=payload["full_sweep"],
+        )
+        self._audit = payload["audit"]
+        self._pending = None
+
+    def send_front(self, cycle: int) -> None:
+        self._pending = ("front_done", cycle, self.sim.front(cycle))
+
+    def recv_front(self, cycle: int):
+        _, _, delta = self._pending
+        return delta
+
+    def send_alloc(self, cycle: int, inbox) -> None:
+        delta, commit = self.sim.alloc(cycle, inbox)
+        audit_payload = self.sim.audit_payload(cycle) if self._audit else None
+        self._pending = ("alloc_done", cycle, delta, commit, audit_payload)
+
+    def recv_alloc(self, cycle: int):
+        _, _, delta, commit, audit_payload = self._pending
+        return delta, commit, audit_payload
+
+    def census(self, cycle: int):
+        return self.sim.survivors(cycle)
+
+    def finish(self, end_cycle: int):
+        return self.sim.finish(end_cycle)
+
+    def shutdown(self) -> None:
+        self._pending = None
+
+
+class _ProcessTile:
+    """One spawn-context worker process with hang/crash supervision."""
+
+    def __init__(self, index: int, payload: dict, timeout: float) -> None:
+        self.index = index
+        self.timeout = timeout
+        context = multiprocessing.get_context("spawn")
+        self.conn, child = context.Pipe()
+        self.process = context.Process(
+            target=_tile_worker, args=(child, payload), daemon=True
+        )
+        self.process.start()
+        child.close()
+
+    def _fail(self, error_type: str, message: str) -> "ShardedExecutionError":
+        from repro.harness.resilient import JobFailure
+
+        return ShardedExecutionError(
+            JobFailure(
+                index=self.index,
+                kind="fatal",
+                error_type=error_type,
+                message=message,
+                attempts=1,
+            )
+        )
+
+    def _recv(self, expected: str, cycle: int | None):
+        deadline = time.monotonic() + self.timeout
+        while not self.conn.poll(0.05):
+            if not self.process.is_alive():
+                raise self._fail(
+                    "ShardWorkerCrash",
+                    f"tile {self.index} worker exited with code "
+                    f"{self.process.exitcode} before replying to "
+                    f"{expected!r} (cycle {cycle})",
+                )
+            if time.monotonic() > deadline:
+                raise self._fail(
+                    "ShardWorkerTimeout",
+                    f"tile {self.index} worker sent no {expected!r} reply "
+                    f"within {self.timeout:.0f}s (cycle {cycle})",
+                )
+        try:
+            message = self.conn.recv()
+        except EOFError:
+            raise self._fail(
+                "ShardWorkerCrash",
+                f"tile {self.index} worker closed its pipe mid-protocol "
+                f"(exit code {self.process.exitcode}, cycle {cycle})",
+            ) from None
+        if message[0] == "error":
+            _, error_type, detail, trace = message
+            raise self._fail(
+                error_type, f"{detail}\n--- worker traceback ---\n{trace}"
+            )
+        if message[0] != expected:  # pragma: no cover - protocol guard
+            raise self._fail(
+                "ShardProtocolError",
+                f"expected {expected!r}, got {message[0]!r}",
+            )
+        return message
+
+    def send_front(self, cycle: int) -> None:
+        self.conn.send(("front", cycle))
+
+    def recv_front(self, cycle: int):
+        return self._recv("front_done", cycle)[2]
+
+    def send_alloc(self, cycle: int, inbox) -> None:
+        self.conn.send(("alloc", cycle, inbox))
+
+    def recv_alloc(self, cycle: int):
+        message = self._recv("alloc_done", cycle)
+        return message[2], message[3], message[4]
+
+    def census(self, cycle: int):
+        self.conn.send(("census", cycle))
+        return self._recv("census_done", cycle)[1]
+
+    def finish(self, end_cycle: int):
+        self.conn.send(("finish", end_cycle))
+        return self._recv("final", end_cycle)[1]
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.close()
+        except Exception:  # pragma: no cover - already closed
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ChaosHooks:
+    """Deterministic failure injection for the sharded tests/CI grid."""
+
+    #: (tile, cycle): that tile's worker hard-exits at the cycle.
+    kill_tile: tuple[int, int] | None = None
+    #: (tile, seconds): sleep injected into every front phase.
+    slow_tile: tuple[int, float] | None = None
+    #: 1-indexed ordinal of a boundary flit message to silently drop
+    #: (coordinator-side), for proving the conservation ledger trips.
+    drop_flit: int | None = None
+
+
+def run_sharded_simulation(
+    config: SimulationConfig,
+    shards=None,
+    *,
+    traffic=None,
+    faults=None,
+    schedule=None,
+    full_sweep: bool = False,
+    progress=None,
+    progress_every: int = 5000,
+    inline: bool = False,
+    tile_timeout: float = DEFAULT_TILE_TIMEOUT,
+    _chaos: _ChaosHooks | None = None,
+) -> SimulationResult:
+    """Run ``config`` sharded into ``shards`` tiles; bit-identical result.
+
+    ``shards`` defaults to ``config.shards``.  ``inline=True`` drives
+    the tiles in-process through the identical protocol (no worker
+    processes) — the debugging/testing mode.  ``tile_timeout`` bounds
+    how long the coordinator waits for any one phase reply before
+    declaring the worker hung.
+    """
+    if shards is None:
+        shards = config.shards
+    if shards is None:
+        raise ValueError("no shard spec: pass shards=... or set config.shards")
+    shards = parse_shards(shards)
+    ensure_sharded_supported(config, traffic, faults, schedule)
+    if shards == (1, 1):
+        return Simulator(config, full_sweep=full_sweep).run(
+            progress=progress, progress_every=progress_every
+        )
+    if not inline and multiprocessing.current_process().daemon:
+        # Sweep-pool workers are daemonic and may not spawn tile
+        # processes; the inline driver runs the identical protocol
+        # in-process, so sharded configs stay usable (and bit-identical)
+        # inside a ParallelExecutor job.
+        inline = True
+    plan = ShardPlan.plan(config, shards)
+    entries, measure_start = build_generation_schedule(config)
+    per_tile_schedule: list[list[tuple]] = [[] for _ in plan.rects]
+    for entry in entries:
+        per_tile_schedule[plan.tile_of(entry[1], entry[2])].append(entry)
+    #: entry cycles in creation order, for O(log n) generated-by-cycle.
+    entry_cycles = [entry[0] for entry in entries]
+
+    chaos = _chaos or _ChaosHooks()
+    payload_base = {
+        "config": config,
+        "rects": [(r.x0, r.y0, r.x1, r.y1) for r in plan.rects],
+        "measure_start": measure_start,
+        "full_sweep": full_sweep,
+        "audit": config.audit,
+    }
+    drivers = []
+    ledger = None
+    if config.audit:
+        from repro.audit.sharded import BoundaryLedger
+
+        ledger = BoundaryLedger(plan, config.flits_per_packet)
+    try:
+        for index in range(plan.num_tiles):
+            payload = dict(payload_base)
+            payload["tile"] = index
+            payload["schedule"] = per_tile_schedule[index]
+            if chaos.kill_tile is not None and chaos.kill_tile[0] == index:
+                payload["kill_cycle"] = chaos.kill_tile[1]
+            if chaos.slow_tile is not None and chaos.slow_tile[0] == index:
+                payload["slow_seconds"] = chaos.slow_tile[1]
+            if inline:
+                drivers.append(_InlineTile(index, payload))
+            else:
+                drivers.append(_ProcessTile(index, payload, tile_timeout))
+        return _coordinate(
+            config, plan, drivers, entries, entry_cycles, measure_start,
+            ledger, chaos, progress, progress_every,
+        )
+    finally:
+        for driver in drivers:
+            driver.shutdown()
+
+
+def _route_delta(delta, pending, ledger, chaos, state) -> None:
+    """Merge one tile's outgoing delta into the per-tile inboxes."""
+    if not delta:
+        return
+    for peer, box in delta.items():
+        inbox = pending[peer]
+        if inbox is None:
+            inbox = pending[peer] = {
+                "flits": [], "owner": [], "reserve": [], "release": [],
+            }
+        for key in ("owner", "reserve", "release"):
+            inbox[key].extend(box[key])
+        for message in box["flits"]:
+            state["flit_messages"] += 1
+            if (
+                chaos.drop_flit is not None
+                and state["flit_messages"] == chaos.drop_flit
+            ):
+                continue  # chaos: the ledger must notice the loss
+            if ledger is not None:
+                ledger.note_sent(peer, 1)
+            inbox["flits"].append(message)
+
+
+def _coordinate(
+    config, plan, drivers, entries, entry_cycles, measure_start,
+    ledger, chaos, progress, progress_every,
+) -> SimulationResult:
+    num_tiles = plan.num_tiles
+    pending: list[dict | None] = [None] * num_tiles
+    commits: list[dict | None] = [None] * num_tiles
+    audits: list[dict | None] = [None] * num_tiles
+    state = {"flit_messages": 0}
+    last_signature = (-1, -1)
+    last_progress_cycle = 0
+    end_cycle = 0
+    finished = False
+    for cycle in range(config.max_cycles):
+        end_cycle = cycle
+        for driver in drivers:
+            driver.send_front(cycle)
+        for driver in drivers:
+            delta = driver.recv_front(cycle)
+            _route_delta(delta, pending, ledger, chaos, state)
+        for wave in plan.waves:
+            for index in wave:
+                inbox = pending[index]
+                pending[index] = None
+                drivers[index].send_alloc(cycle, inbox)
+            for index in wave:
+                delta, commit, audit_payload = drivers[index].recv_alloc(cycle)
+                commits[index] = commit
+                audits[index] = audit_payload
+                _route_delta(delta, pending, ledger, chaos, state)
+        generated = bisect_right(entry_cycles, cycle)
+        delivered = sum(commit["delivered"] for commit in commits)
+        dropped = sum(commit["dropped"] for commit in commits)
+        outstanding = generated - delivered - dropped
+        moves = sum(commit["moves"] for commit in commits)
+        if ledger is not None:
+            ledger.check(cycle, generated, audits)
+        if progress is not None and cycle and cycle % progress_every == 0:
+            progress(cycle, generated, outstanding)
+        signature = (moves, outstanding)
+        if signature != last_signature:
+            last_signature = signature
+            last_progress_cycle = cycle
+        if generated >= config.total_packets and outstanding == 0:
+            finished = True
+            break
+        if cycle - last_progress_cycle > config.drain_timeout:
+            census = _merged_census(drivers, cycle, outstanding)
+            raise DrainTimeoutError(
+                f"no progress for {config.drain_timeout} cycles at cycle "
+                f"{cycle}",
+                census,
+            )
+    finals = [driver.finish(end_cycle) for driver in drivers]
+    if ledger is not None:
+        ledger.final_check(end_cycle, len(entries), audits,
+                           drained=finished)
+    return _merge_result(
+        config, plan, finals, entries, measure_start, end_cycle + 1
+    )
+
+
+def _merged_census(drivers, cycle: int, outstanding: int) -> StrandedCensus:
+    per_node: dict[NodeId, int] = {}
+    oldest = 0
+    for driver in drivers:
+        for pid, _measured, created, x, y in driver.census(cycle):
+            node = NodeId(x, y)
+            per_node[node] = per_node.get(node, 0) + 1
+            oldest = max(oldest, cycle - created)
+    return StrandedCensus(
+        outstanding=outstanding,
+        per_node=per_node,
+        oldest_age=oldest,
+        dead_modules={},
+        unreachable=0,
+    )
+
+
+def _merge_result(
+    config, plan, finals, entries, measure_start, cycles
+) -> SimulationResult:
+    stats = StatsCollector(num_nodes=config.num_nodes)
+    stats.measuring = measure_start is not None
+    stats.measure_start_cycle = measure_start
+    activity = ActivityCounters()
+    tile_scheduler: list[SchedulerCounters] = []
+    for final in finals:
+        stats.latencies.extend(final["latencies"])
+        stats.hops.extend(final["hops"])
+        stats.injected_packets += final["injected"]
+        stats.delivered_packets += final["delivered"]
+        stats.dropped_packets += final["dropped"]
+        stats.delivered_flits += final["delivered_flits"]
+        stats.total_delivered += final["total_delivered"]
+        stats.total_dropped += final["total_dropped"]
+        for reason_value, count in final["drops_by_reason"].items():
+            reason = DropReason(reason_value)
+            stats.drops_by_reason[reason] = (
+                stats.drops_by_reason.get(reason, 0) + count
+            )
+        activity = activity.merged(ActivityCounters(**final["activity"]))
+        contention = final["contention"]
+        stats.contention.row_requests += contention["row_requests"]
+        stats.contention.row_contended += contention["row_contended"]
+        stats.contention.column_requests += contention["column_requests"]
+        stats.contention.column_contended += contention["column_contended"]
+        counters = SchedulerCounters(**final["scheduler"])
+        tile_scheduler.append(counters)
+        stats.scheduler.router_steps += counters.router_steps
+        stats.scheduler.router_slots += counters.router_slots
+        stats.scheduler.wakeups += counters.wakeups
+        stats.scheduler.sleeps += counters.sleeps
+    stats.activity = activity
+    stats.scheduler.cycles = finals[0]["scheduler"]["cycles"]
+    stats.scheduler.full_sweep = finals[0]["scheduler"]["full_sweep"]
+    stats.measured_cycles = max(final["measured_cycles"] for final in finals)
+    # Survivors: the reference drops everything still queued or buffered
+    # at termination; tiles report, the coordinator dedupes (a worm can
+    # straddle a cut and be seen by both sides).
+    seen: set[int] = set()
+    for final in finals:
+        for pid, measured, _created, _x, _y in final["survivors"]:
+            if pid in seen:
+                continue
+            seen.add(pid)
+            stats.total_dropped += 1
+            stats.drops_by_reason[DropReason.UNDELIVERED] = (
+                stats.drops_by_reason.get(DropReason.UNDELIVERED, 0) + 1
+            )
+            if measured:
+                stats.dropped_packets += 1
+    model = EnergyModel(config.router, config.num_nodes)
+    energy = model.report(
+        stats.activity, stats.measured_cycles, stats.delivered_packets
+    )
+    return SimulationResult(
+        config=config,
+        average_latency=stats.average_latency,
+        latency=LatencySummary.from_samples(stats.latencies),
+        average_hops=stats.average_hops,
+        injected_packets=stats.injected_packets,
+        delivered_packets=stats.delivered_packets,
+        dropped_packets=stats.dropped_packets,
+        completion_probability=stats.completion_probability,
+        throughput=stats.throughput_flits_per_node_cycle,
+        cycles=cycles,
+        energy=energy,
+        contention_row=stats.contention.row_probability,
+        contention_column=stats.contention.column_probability,
+        contention_overall=stats.contention.overall_probability,
+        faults=[],
+        scheduler=stats.scheduler,
+        generated_packets=len(entries),
+        total_delivered=stats.total_delivered,
+        total_dropped=stats.total_dropped,
+        drops_by_reason={
+            reason.value: count
+            for reason, count in sorted(
+                stats.drops_by_reason.items(), key=lambda kv: kv[0].value
+            )
+        },
+        tile_scheduler=tile_scheduler,
+    )
+
+
+# --------------------------------------------------------------------------
+# CLI: `python -m repro shards` — single sharded runs and the equivalence
+# grid the scaling-smoke CI lane executes.
+# --------------------------------------------------------------------------
+
+#: (size, shards, router, routing, full_sweep, packets, warmup, rate)
+#: Every cell is run sharded (worker processes) and unsharded, and the
+#: two result records must match field-for-field.
+EQUIVALENCE_GRID: tuple[tuple, ...] = (
+    (4, (1, 2), "roco", "xy", False, 120, 30, 0.2),
+    (4, (1, 2), "generic", "xy", False, 120, 30, 0.2),
+    (4, (2, 2), "roco", "xy-yx", False, 120, 30, 0.2),
+    (4, (2, 2), "generic", "xy-yx", False, 120, 30, 0.2),
+    (8, (1, 2), "roco", "xy", False, 200, 60, 0.15),
+    (8, (1, 2), "generic", "xy", False, 200, 60, 0.15),
+    (8, (2, 2), "roco", "xy", False, 200, 60, 0.15),
+    (8, (2, 2), "generic", "xy", False, 200, 60, 0.15),
+    (8, (2, 2), "roco", "xy", True, 200, 60, 0.15),
+    (8, (2, 2), "generic", "xy", True, 200, 60, 0.15),
+    (16, (2, 2), "roco", "xy", False, 200, 50, 0.1),
+)
+
+
+def _grid_config(cell) -> SimulationConfig:
+    size, _shards, router, routing, _sweep, packets, warmup, rate = cell
+    return SimulationConfig(
+        width=size,
+        height=size,
+        router=router,
+        routing=routing,
+        traffic="uniform",
+        injection_rate=rate,
+        warmup_packets=warmup,
+        measure_packets=packets,
+        seed=7,
+    )
+
+
+def compare_records(reference: SimulationResult, sharded: SimulationResult):
+    """Field-level diff of two runs; empty list means bit-identical."""
+    from repro.harness.export import result_record
+
+    mismatches = []
+    ref_record = result_record(reference)
+    shard_record = result_record(sharded)
+    for field in ref_record:
+        if ref_record[field] != shard_record[field]:
+            mismatches.append(
+                f"{field}: reference={ref_record[field]!r} "
+                f"sharded={shard_record[field]!r}"
+            )
+    if reference.scheduler != sharded.scheduler:
+        mismatches.append(
+            f"scheduler: reference={reference.scheduler!r} "
+            f"sharded={sharded.scheduler!r}"
+        )
+    for field in ("generated_packets", "total_delivered", "total_dropped"):
+        ref_value = getattr(reference, field)
+        shard_value = getattr(sharded, field)
+        if ref_value != shard_value:
+            mismatches.append(
+                f"{field}: reference={ref_value!r} sharded={shard_value!r}"
+            )
+    return mismatches
+
+
+def equivalence_grid(cells=EQUIVALENCE_GRID, *, inline: bool = False, out=print):
+    """Run the sharded-vs-reference grid; returns the number of failures.
+
+    Each cell simulates the same configuration twice — once through the
+    plain :class:`Simulator`, once through worker-process tiles — and
+    asserts record-level identity (latency percentiles, energy, per-drop
+    accounting, scheduler counters...).  This is the check the CI
+    ``scaling-smoke`` job runs.
+    """
+    failures = 0
+    for cell in cells:
+        size, shards, router, routing, full_sweep, *_ = cell
+        label = (
+            f"{size}x{size} {shards[0]}x{shards[1]} {router} {routing} "
+            f"{'full-sweep' if full_sweep else 'event-driven'}"
+        )
+        config = _grid_config(cell)
+        start = time.monotonic()
+        reference = Simulator(config, full_sweep=full_sweep).run()
+        sharded = run_sharded_simulation(
+            config, shards, full_sweep=full_sweep, inline=inline
+        )
+        elapsed = time.monotonic() - start
+        mismatches = compare_records(reference, sharded)
+        if mismatches:
+            failures += 1
+            out(f"FAIL {label} ({elapsed:.1f}s)")
+            for line in mismatches:
+                out(f"     {line}")
+        else:
+            out(f"PASS {label} ({elapsed:.1f}s)")
+    total = len(list(cells))
+    out(f"{total - failures}/{total} cells bit-identical")
+    return failures
+
+
+def sharded_main(argv=None) -> int:
+    """``python -m repro shards`` — sharded runs and the equivalence grid."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro shards",
+        description=(
+            "Sharded mesh execution: run one simulation partitioned into "
+            "tile worker processes, or the sharded-vs-reference "
+            "equivalence grid (docs/sharded-scaling.md)"
+        ),
+    )
+    parser.add_argument(
+        "--grid",
+        action="store_true",
+        help="run the equivalence grid instead of a single simulation",
+    )
+    parser.add_argument(
+        "--inline",
+        action="store_true",
+        help="drive tiles in-process (debugging; same protocol, no workers)",
+    )
+    parser.add_argument("--router", choices=sorted(SHARD_ROUTERS), default="roco")
+    parser.add_argument(
+        "--routing", choices=["xy", "xy-yx", "adaptive"], default="xy"
+    )
+    parser.add_argument("--traffic", default="uniform")
+    parser.add_argument("--rate", type=float, default=0.2)
+    parser.add_argument("--size", type=int, default=8, help="mesh is size x size")
+    parser.add_argument("--packets", type=int, default=2000)
+    parser.add_argument("--warmup", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--shards",
+        default="2x2",
+        help="tile grid as WxH (e.g. 2x2, 1x4)",
+    )
+    parser.add_argument(
+        "--full-sweep",
+        action="store_true",
+        help="disable the activity scheduler (sweep every router each cycle)",
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="enable the cross-shard conservation ledger",
+    )
+    args = parser.parse_args(argv)
+    if args.grid:
+        return 1 if equivalence_grid(inline=args.inline) else 0
+    config = SimulationConfig(
+        width=args.size,
+        height=args.size,
+        router=args.router,
+        routing=args.routing,
+        traffic=args.traffic,
+        injection_rate=args.rate,
+        warmup_packets=args.warmup,
+        measure_packets=args.packets,
+        seed=args.seed,
+        audit=args.audit,
+        shards=parse_shards(args.shards),
+    )
+    result = run_sharded_simulation(
+        config, full_sweep=args.full_sweep, inline=args.inline
+    )
+    print(result.summary_line())
+    print(
+        f"  latency p50/p95/p99: {result.latency.p50:.1f} / "
+        f"{result.latency.p95:.1f} / {result.latency.p99:.1f} cycles; "
+        f"throughput {result.throughput:.3f} flits/node/cycle; "
+        f"{result.cycles} cycles simulated"
+    )
+    for tile, counters in enumerate(result.tile_scheduler):
+        print(
+            f"  tile {tile}: {counters.router_steps} router steps / "
+            f"{counters.router_slots} slots "
+            f"(duty {counters.duty_cycle:.3f})"
+        )
+    return 0
