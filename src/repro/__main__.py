@@ -40,6 +40,16 @@ simulations (see docs/resilient-execution.md)::
     python -m repro --rates 0.05,0.15 --num-seeds 5 --workers 0 \
         --cache-dir ~/.cache/repro --resume
     python -m repro chaos --grid
+
+Serve mode — run simulations as a service: an HTTP job server that
+dedupes identical concurrent requests onto one simulation, shares the
+on-disk cache with batch sweeps, and streams progress as NDJSON (see
+docs/serving.md)::
+
+    python -m repro serve --workers 4 --cache-dir ~/.cache/repro
+    python -m repro serve submit '{"kind": "experiment", "config": {"rate": 0.1}}'
+    python -m repro serve status
+    python -m repro serve --smoke
 """
 
 from __future__ import annotations
@@ -446,6 +456,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.harness.sharded import sharded_main
 
         return sharded_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        # Job-server subcommand: simulation-as-a-service with request
+        # dedupe and supervised execution (docs/serving.md).
+        from repro.serve.cli import serve_main
+
+        return serve_main(argv[1:])
     if argv[:1] == ["chaos"]:
         # Chaos subcommand: differential fault-injection grid for the
         # resilient execution layer (docs/resilient-execution.md).

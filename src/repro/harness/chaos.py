@@ -110,17 +110,22 @@ def chaos_execute(
     attempt: int,
     chaos: ChaosConfig,
     in_worker: bool = False,
+    job_fn=None,
 ) -> dict:
     """Run one job with the matching injection (if any) applied.
 
     ``in_worker`` selects real process-level faults (exit, sleep); the
     serial path substitutes typed exceptions so the supervisor's retry
     machinery sees the same failure taxonomy without killing or
-    blocking the driving process.
+    blocking the driving process.  ``job_fn`` overrides how a job is
+    actually executed (default :func:`execute_job`); injections wrap
+    whatever executor the embedder supplied.
     """
+    if job_fn is None:
+        job_fn = execute_job
     rule = chaos.rule_for(index, attempt) if chaos is not None else None
     if rule is None:
-        return execute_job(job)
+        return job_fn(job)
     if rule.kind == "crash":
         if in_worker:
             os._exit(CRASH_EXIT_CODE)
@@ -136,7 +141,7 @@ def chaos_execute(
             # If nobody killed us, fall through and return the real
             # record — a late (straggler) result the supervisor may
             # already have replaced; determinism keeps that safe.
-            return execute_job(job)
+            return job_fn(job)
         raise JobTimeoutError(
             f"injected {rule.kind} (job {index} attempt {attempt})"
         )
@@ -145,7 +150,7 @@ def chaos_execute(
             f"injected transient (job {index} attempt {attempt})"
         )
     # corrupt: simulate faithfully, then damage the returned record.
-    record = dict(execute_job(job))
+    record = dict(job_fn(job))
     for fieldname in rule.fields:
         record[fieldname] = -1.0
     return record

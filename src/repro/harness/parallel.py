@@ -29,7 +29,9 @@ import json
 import multiprocessing
 import os
 import sys
+import threading
 import time
+import warnings
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -173,6 +175,12 @@ class ResultCache:
     is not a silent permanent miss: it is quarantined to
     ``<key>.corrupt`` (preserving the evidence) and counted, so the next
     store repopulates the slot.
+
+    One instance may be shared by concurrent threads (the job server
+    keeps a single warm cache for every client): the counters are
+    guarded by a lock so ``summary()`` / :meth:`counters` reflect exact
+    totals, and the store path is already safe against concurrent
+    writers of the same key (unique tmp names + atomic replace).
     """
 
     #: Per-process counter making concurrent stores' tmp names unique.
@@ -185,6 +193,24 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        #: Guards the four counters above.  ``x += 1`` on an instance
+        #: attribute is a read-modify-write that can interleave between
+        #: bytecodes, so unsynchronized concurrent lookups undercount.
+        self._lock = threading.Lock()
+
+    def _count(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    def counters(self) -> dict:
+        """Consistent snapshot of the four counters."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "corrupt": self.corrupt,
+            }
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -194,7 +220,7 @@ class ResultCache:
         try:
             text = path.read_text()
         except OSError:
-            self.misses += 1
+            self._count("misses")
             return None
         try:
             payload = json.loads(text)
@@ -207,17 +233,17 @@ class ResultCache:
             )
         except (ValueError, KeyError):
             self._quarantine(path)
-            self.misses += 1
+            self._count("misses")
             return None
         if record is None:  # wrong version: stale but well-formed
-            self.misses += 1
+            self._count("misses")
             return None
-        self.hits += 1
+        self._count("hits")
         return record
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside so the slot can be rebuilt."""
-        self.corrupt += 1
+        self._count("corrupt")
         try:
             path.replace(path.with_suffix(".corrupt"))
         except OSError:
@@ -237,15 +263,17 @@ class ResultCache:
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
-        self.stores += 1
+        self._count("stores")
 
     def summary(self) -> str:
         """One-line cache statistics for CLI reports."""
+        snapshot = self.counters()
         line = (
-            f"{self.hits} hits, {self.misses} misses, {self.stores} stores"
+            f"{snapshot['hits']} hits, {snapshot['misses']} misses, "
+            f"{snapshot['stores']} stores"
         )
-        if self.corrupt:
-            line += f", {self.corrupt} corrupt (quarantined)"
+        if snapshot["corrupt"]:
+            line += f", {snapshot['corrupt']} corrupt (quarantined)"
         return line
 
     def __len__(self) -> int:
@@ -266,6 +294,52 @@ def execute_job(job: SimJob) -> dict:
 def _execute_indexed(indexed: tuple[int, SimJob]) -> tuple[int, dict]:
     index, job = indexed
     return index, execute_job(job)
+
+
+class NestedPoolFallbackWarning(RuntimeWarning):
+    """A worker-pool request was demoted to inline execution.
+
+    Raised as a *warning* (not an error) because the inline driver
+    produces identical records — but silently losing parallelism inside
+    a server or a nested sweep is worth surfacing.
+    """
+
+
+def _in_daemonic_process() -> bool:
+    """Whether this process is a daemonic pool/server worker."""
+    return multiprocessing.current_process().daemon
+
+
+def pool_fallback_reason(workers: int) -> str | None:
+    """Why a ``workers``-wide pool cannot be spawned here (or ``None``).
+
+    Daemonic workers (sweep-pool children, managed worker-set
+    processes) may not have children of their own; a REPL/stdin parent
+    cannot be re-imported by ``spawn``.  Callers fall back to the
+    inline driver — bit-identical, just serial — and emit a
+    :class:`NestedPoolFallbackWarning` naming the reason.
+    """
+    if workers <= 1:
+        return None
+    if _in_daemonic_process():
+        return (
+            "nested process pool requested from a daemonic worker "
+            "context (daemonic processes may not have children)"
+        )
+    if not _spawn_supported():
+        return (
+            "spawn entry point unavailable (interactive/stdin parent "
+            "cannot be re-imported by spawn workers)"
+        )
+    return None
+
+
+def _warn_pool_fallback(reason: str) -> None:
+    warnings.warn(
+        f"falling back to inline execution: {reason}",
+        NestedPoolFallbackWarning,
+        stacklevel=3,
+    )
 
 
 def _spawn_supported() -> bool:
@@ -528,12 +602,18 @@ class ParallelExecutor:
     ) -> Iterable[tuple[int, object]]:
         if not pending:
             return
+        fallback = pool_fallback_reason(self.workers)
+        if fallback is not None:
+            # The pool cannot be spawned here (daemonic worker context
+            # or no re-importable entry point); say so instead of
+            # silently serialising — results are identical either way.
+            _warn_pool_fallback(fallback)
         if policy is None and self.chaos is None:
             # Classic unsupervised path, byte-for-byte the original.
             if (
                 self.workers <= 1
                 or len(pending) == 1
-                or not _spawn_supported()
+                or fallback is not None
             ):
                 for index, job in pending:
                     yield index, execute_job(job)
@@ -549,7 +629,7 @@ class ParallelExecutor:
         if stats is None:
             stats = ExecutionStats(total=len(pending))
         on_retry = getattr(self.progress, "note_retry", None)
-        if self.workers <= 1 or not _spawn_supported():
+        if self.workers <= 1 or fallback is not None:
             yield from resilient.run_serial(
                 pending, policy, self.chaos, stats, on_retry=on_retry
             )
@@ -624,11 +704,38 @@ class ProgressPrinter:
         )
 
     def finish(self, stats: ExecutionStats) -> None:
-        """Executor hook: final ``ok/failed/retried`` summary line."""
+        """Executor hook: final summary line.
+
+        Degenerate sweeps get an explicit line instead of a misleading
+        ``0 ok, 0 failed, 0 retried``: an empty job list says so, and a
+        100%-cached run (no job ever executed) reports the cache
+        instead of pretending work happened.  The ``failed``/``retried``
+        counters only appear when a failure or retry actually occurred.
+        """
+        if stats.total == 0:
+            print(
+                f"[{self.label}] finished: no jobs to run",
+                file=self.stream,
+                flush=True,
+            )
+            return
+        if (
+            stats.simulated == 0
+            and stats.failures == 0
+            and stats.cache_hits == stats.total
+        ):
+            resumed = (
+                f" ({stats.resumed} resumed)" if stats.resumed else ""
+            )
+            print(
+                f"[{self.label}] finished: all {stats.total} served "
+                f"from cache, 0 simulated{resumed}",
+                file=self.stream,
+                flush=True,
+            )
+            return
         ok = stats.total - stats.failures
-        print(
-            f"[{self.label}] finished: {ok} ok, {stats.failures} failed, "
-            f"{stats.retries} retried",
-            file=self.stream,
-            flush=True,
-        )
+        line = f"[{self.label}] finished: {ok} ok"
+        if stats.failures or stats.retries:
+            line += f", {stats.failures} failed, {stats.retries} retried"
+        print(line, file=self.stream, flush=True)

@@ -370,6 +370,7 @@ def run_serial(
     chaos,
     stats: ExecutionStats,
     on_retry=None,
+    job_fn=None,
 ):
     """Inline execution with retry/quarantine semantics.
 
@@ -377,6 +378,8 @@ def run_serial(
     hang to :class:`JobTimeoutError` instead so the retry path is still
     exercised serially); everything else matches the pooled engine.
     """
+    if job_fn is None:
+        job_fn = execute_job
     ledger = _RetryLedger(policy, stats, on_retry)
     for index, job in pending:
         while True:
@@ -385,9 +388,11 @@ def run_serial(
                 if chaos is not None:
                     from repro.harness.chaos import chaos_execute
 
-                    record = chaos_execute(job, index, attempt, chaos)
+                    record = chaos_execute(
+                        job, index, attempt, chaos, job_fn=job_fn
+                    )
                 else:
-                    record = execute_job(job)
+                    record = job_fn(job)
                 if policy.validate:
                     validate_record(record)
             except Exception as exc:
@@ -420,13 +425,18 @@ def run_serial(
 # ----------------------------------------------------------------------
 
 
-def _worker_main(worker_id, conn, chaos, heartbeat_interval):
+def _worker_main(worker_id, conn, chaos, heartbeat_interval, job_fn=None):
     """Worker loop: recv task, execute, send result; heartbeat thread.
 
     Top-level so ``spawn`` children can import it.  All sends share one
     lock because the heartbeat thread and the main loop write to the
-    same pipe.
+    same pipe.  ``job_fn`` (a picklable top-level callable, default
+    :func:`~repro.harness.parallel.execute_job`) lets embedders like the
+    job server capture extra per-job telemetry without forking the
+    worker protocol.
     """
+    if job_fn is None:
+        job_fn = execute_job
     send_lock = threading.Lock()
     stop = threading.Event()
 
@@ -458,10 +468,11 @@ def _worker_main(worker_id, conn, chaos, heartbeat_interval):
                     from repro.harness.chaos import chaos_execute
 
                     record = chaos_execute(
-                        job, index, attempt, chaos, in_worker=True
+                        job, index, attempt, chaos,
+                        in_worker=True, job_fn=job_fn,
                     )
                 else:
-                    record = execute_job(job)
+                    record = job_fn(job)
                 _send(("done", worker_id, index, attempt, record))
             except Exception as exc:
                 _, fatal = _classify(exc)
@@ -528,13 +539,22 @@ class _PoolSupervisor:
         stats: ExecutionStats,
         context,
         on_retry=None,
+        job_fn=None,
+        elastic: bool = False,
     ) -> None:
         self.jobs = dict(pending)
         self.policy = policy
         self.chaos = chaos
-        self.pool_size = max(1, min(workers, len(pending)))
+        # An elastic supervisor (the long-lived worker set behind the
+        # job server) sizes its pool for future submissions, not the
+        # (possibly empty) initial batch.
+        if elastic:
+            self.pool_size = max(1, workers)
+        else:
+            self.pool_size = max(1, min(workers, len(pending)))
         self.stats = stats
         self.context = context
+        self.job_fn = job_fn
         self.ledger = _RetryLedger(policy, stats, on_retry)
         self.ready: deque[int] = deque(index for index, _ in pending)
         self.delayed: list[tuple[float, int, int]] = []  # (when, seq, index)
@@ -558,6 +578,7 @@ class _PoolSupervisor:
                 child_conn,
                 self.chaos,
                 self.policy.heartbeat_interval,
+                self.job_fn,
             ),
             daemon=True,
         )
@@ -835,18 +856,67 @@ class _PoolSupervisor:
                         False,
                     )
 
+    # -- incremental interface (long-lived worker sets) ----------------
+
+    def submit(self, index: int, job: SimJob) -> None:
+        """Enqueue one more job; legal at any point in the lifetime."""
+        if index in self.jobs:
+            raise ValueError(f"job index {index} already submitted")
+        self.jobs[index] = job
+        self.ready.append(index)
+
+    def start(self) -> None:
+        """Spawn the initial worker complement."""
+        while len(self.workers) < self.pool_size:
+            self._spawn_worker()
+
+    def _tick(self) -> None:
+        """One supervision pass: schedule, drain, enforce liveness."""
+        self._promote_delayed()
+        self._assign_ready()
+        self._maybe_speculate()
+        self._drain_messages()
+        self._check_liveness()
+
+    def pump(self) -> list[tuple[int, object]]:
+        """One pass; returns newly completed ``(index, outcome)`` pairs."""
+        self._tick()
+        completed = list(self.out)
+        self.out.clear()
+        return completed
+
+    def worker_liveness(self) -> list[dict]:
+        """Status snapshot of every live worker (for ``/status``)."""
+        now = time.monotonic()
+        report = []
+        for handle in self.workers.values():
+            running = handle.running
+            report.append(
+                {
+                    "worker": handle.worker_id,
+                    "pid": handle.process.pid,
+                    "alive": handle.process.is_alive(),
+                    "ready": handle.ready,
+                    "running_index": (
+                        running.index if running is not None else None
+                    ),
+                    "busy_seconds": (
+                        round(now - running.started, 3)
+                        if running is not None
+                        else None
+                    ),
+                    "heartbeat_age": round(now - handle.last_heartbeat, 3),
+                }
+            )
+        return report
+
     # -- main loop -----------------------------------------------------
 
     def events(self):
         try:
-            for _ in range(self.pool_size):
-                self._spawn_worker()
+            self.start()
             while len(self.resolved) < len(self.jobs):
-                self._promote_delayed()
-                self._assign_ready()
-                self._maybe_speculate()
-                self._drain_messages()
-                self._check_liveness()
+                self._tick()
                 while self.out:
                     yield self.out.popleft()
             while self.out:
@@ -872,3 +942,102 @@ def run_pooled(
         pending, policy, chaos, workers, stats, context, on_retry=on_retry
     )
     yield from supervisor.events()
+
+
+# ----------------------------------------------------------------------
+# Long-lived managed worker set (serve layer)
+# ----------------------------------------------------------------------
+
+
+class ManagedWorkerSet:
+    """A :class:`_PoolSupervisor` reusable outside one ``run_jobs`` call.
+
+    ``run_pooled`` builds a supervisor around a fixed batch and tears it
+    down when the batch resolves; a long-lived daemon instead wants one
+    warm pool that accepts jobs *incrementally* for its whole lifetime.
+    This wrapper owns exactly that: :meth:`submit` enqueues a job and
+    returns its index, :meth:`pump` runs one supervision pass (assign /
+    drain / deadlines / heartbeat liveness / crash replenishment) and
+    returns newly settled ``(index, record | JobFailure)`` pairs, and
+    :meth:`close` shuts the pool down.  All the
+    :class:`RetryPolicy` machinery — retries with backoff, deadline
+    kills, crash detection, speculative stragglers — behaves exactly as
+    it does under ``run_jobs``; the shared :class:`ExecutionStats`
+    accumulates across every job ever submitted.
+
+    Not thread-safe: one owner thread submits and pumps (the job
+    server's broker thread).  ``job_fn`` must be a picklable top-level
+    callable (default :func:`~repro.harness.parallel.execute_job`).
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        workers: int = 1,
+        chaos=None,
+        stats: ExecutionStats | None = None,
+        start_method: str = "spawn",
+        on_retry=None,
+        job_fn=None,
+    ) -> None:
+        import multiprocessing
+
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.stats = stats if stats is not None else ExecutionStats()
+        context = multiprocessing.get_context(start_method)
+        self._supervisor = _PoolSupervisor(
+            [],
+            self.policy,
+            chaos,
+            workers,
+            self.stats,
+            context,
+            on_retry=on_retry,
+            job_fn=job_fn,
+            elastic=True,
+        )
+        self._next_index = itertools.count()
+        self._closed = False
+        self._supervisor.start()
+
+    @property
+    def pool_size(self) -> int:
+        return self._supervisor.pool_size
+
+    def submit(self, job: SimJob) -> int:
+        """Enqueue a job; returns the index its outcome will carry."""
+        if self._closed:
+            raise RuntimeError("worker set is closed")
+        index = next(self._next_index)
+        self._supervisor.submit(index, job)
+        self.stats.total += 1
+        return index
+
+    def pump(self) -> list[tuple[int, object]]:
+        """One supervision pass; newly settled ``(index, outcome)``\\ s.
+
+        Blocks at most ``policy.poll_interval`` waiting for worker
+        messages, so a driving loop can call it back-to-back without
+        spinning.
+        """
+        if self._closed:
+            return []
+        return self._supervisor.pump()
+
+    def outstanding(self) -> int:
+        """Jobs submitted but not yet settled."""
+        return self._supervisor._outstanding()
+
+    def worker_liveness(self) -> list[dict]:
+        return self._supervisor.worker_liveness()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._supervisor._shutdown()
+
+    def __enter__(self) -> "ManagedWorkerSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -9,6 +9,7 @@ The contract under test (docs/parallel-execution.md):
   simulation-relevant difference (config fields, faults).
 """
 
+import io
 import json
 import os
 import random
@@ -25,12 +26,16 @@ from repro.faults.injector import random_faults
 from repro.harness.export import result_record
 from repro.harness.parallel import (
     CACHE_VERSION,
+    ExecutionStats,
+    NestedPoolFallbackWarning,
     ParallelExecutor,
+    ProgressPrinter,
     ResultCache,
     SimJob,
     _spawn_supported,
     execute_job,
     job_key,
+    pool_fallback_reason,
     resolve_workers,
 )
 from repro.harness.sweeps import Sweep
@@ -269,14 +274,16 @@ class TestProgressAndWorkers:
         assert _spawn_supported() is False
 
     def test_unspawnable_parent_falls_back_to_serial(self, monkeypatch):
-        """Satellite: workers=2 from a REPL-like parent silently runs
-        serial and still produces identical records."""
+        """Satellite: workers=2 from a REPL-like parent runs serial with
+        an explicit warning and still produces identical records."""
         serial = ParallelExecutor().run_configs([small_config(seed=1)])
         fake_main = types.ModuleType("__main__")
         fake_main.__spec__ = None
         monkeypatch.setitem(sys.modules, "__main__", fake_main)
         executor = ParallelExecutor(workers=2)
-        assert executor.run_configs([small_config(seed=1)]) == serial
+        with pytest.warns(NestedPoolFallbackWarning, match="spawn entry point"):
+            records = executor.run_configs([small_config(seed=1)])
+        assert records == serial
         assert executor.simulations_run == 1
 
     def test_unspawnable_parent_serial_fallback_with_policy(self, monkeypatch):
@@ -289,8 +296,108 @@ class TestProgressAndWorkers:
         executor = ParallelExecutor(
             workers=2, policy=RetryPolicy(backoff_base=0.0)
         )
-        assert executor.run_configs([small_config(seed=1)]) == serial
+        with pytest.warns(NestedPoolFallbackWarning, match="spawn entry point"):
+            records = executor.run_configs([small_config(seed=1)])
+        assert records == serial
         assert executor.last_stats.simulated == 1
+
+    def test_daemonic_context_falls_back_to_inline(self, monkeypatch):
+        """Satellite: a pool requested from inside a daemonic worker
+        (where children are forbidden) degrades to inline execution with
+        a structured warning instead of crashing, and the records stay
+        identical to serial ones."""
+        from repro.harness import parallel as parallel_module
+
+        serial = ParallelExecutor().run_configs([small_config(seed=1)])
+        monkeypatch.setattr(
+            parallel_module, "_in_daemonic_process", lambda: True
+        )
+        executor = ParallelExecutor(workers=2)
+        with pytest.warns(
+            NestedPoolFallbackWarning, match="daemonic worker context"
+        ):
+            records = executor.run_configs([small_config(seed=1)])
+        assert records == serial
+        assert executor.simulations_run == 1
+
+    def test_daemonic_fallback_with_policy(self, monkeypatch):
+        from repro.harness import parallel as parallel_module
+        from repro.harness.resilient import RetryPolicy
+
+        serial = ParallelExecutor().run_configs([small_config(seed=1)])
+        monkeypatch.setattr(
+            parallel_module, "_in_daemonic_process", lambda: True
+        )
+        executor = ParallelExecutor(
+            workers=2, policy=RetryPolicy(backoff_base=0.0)
+        )
+        with pytest.warns(
+            NestedPoolFallbackWarning, match="daemonic worker context"
+        ):
+            records = executor.run_configs([small_config(seed=1)])
+        assert records == serial
+        assert executor.last_stats.simulated == 1
+
+    def test_no_fallback_warning_in_normal_runs(self, recwarn):
+        ParallelExecutor(workers=1).run_configs([small_config(seed=1)])
+        assert not [
+            w
+            for w in recwarn.list
+            if issubclass(w.category, NestedPoolFallbackWarning)
+        ]
+
+    def test_pool_fallback_reason_single_worker_is_none(self):
+        assert pool_fallback_reason(1) is None
+        assert pool_fallback_reason(0) is None
+
+    def test_progress_finish_zero_jobs(self):
+        """Satellite: an empty sweep says so — no '0/0', no '0 ok,
+        0 failed, 0 retried'."""
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer.finish(ExecutionStats(total=0))
+        out = stream.getvalue()
+        assert out == "[sweep] finished: no jobs to run\n"
+        assert "0/0" not in out and "retried" not in out
+
+    def test_progress_finish_all_cached(self):
+        """Satellite: a 100%-cached rerun reports the cache explicitly
+        instead of pretending simulations happened."""
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer.finish(ExecutionStats(total=4, cache_hits=4, simulated=0))
+        out = stream.getvalue()
+        assert out == "[sweep] finished: all 4 served from cache, 0 simulated\n"
+        assert "failed" not in out and "retried" not in out
+
+    def test_progress_finish_all_cached_with_resumed(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer.finish(
+            ExecutionStats(total=4, cache_hits=4, simulated=0, resumed=2)
+        )
+        assert (
+            stream.getvalue()
+            == "[sweep] finished: all 4 served from cache, 0 simulated"
+            " (2 resumed)\n"
+        )
+
+    def test_progress_finish_clean_run_omits_zero_counters(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer.finish(ExecutionStats(total=3, simulated=3))
+        assert stream.getvalue() == "[sweep] finished: 3 ok\n"
+
+    def test_progress_finish_keeps_failure_breakdown(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer.finish(
+            ExecutionStats(total=3, simulated=3, failures=1, retries=2)
+        )
+        assert (
+            stream.getvalue()
+            == "[sweep] finished: 2 ok, 1 failed, 2 retried\n"
+        )
 
     def test_faulty_jobs_run_through_executor(self):
         nodes = [NodeId(x, y) for y in range(3) for x in range(3)]
